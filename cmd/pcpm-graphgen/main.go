@@ -1,0 +1,116 @@
+// Command pcpm-graphgen generates the synthetic dataset analogs (or custom
+// graphs) and writes them as text edge lists or the repo's binary format.
+//
+// Usage:
+//
+//	pcpm-graphgen -dataset kron -divisor 256 -o kron.bin
+//	pcpm-graphgen -dataset all -divisor 1024 -dir ./data
+//	pcpm-graphgen -kind rmat -scale 18 -edgefactor 16 -o big.bin
+//	pcpm-graphgen -kind er -nodes 100000 -edges 1600000 -o random.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "", "paper dataset analog: gplus|pld|web|kron|twitter|sd1|all")
+		divisor    = flag.Int("divisor", 256, "dataset scale divisor")
+		kind       = flag.String("kind", "", "custom generator: rmat|er|ba|copy")
+		scale      = flag.Int("scale", 16, "rmat: log2 node count")
+		edgefactor = flag.Int("edgefactor", 16, "rmat: edges per node")
+		nodes      = flag.Int("nodes", 1<<16, "er/ba/copy: node count")
+		edges      = flag.Int64("edges", 1<<20, "er: edge count")
+		degree     = flag.Int("degree", 16, "ba/copy: out-degree per node")
+		locality   = flag.Float64("locality", 0.3, "copy: label locality in [0,1]")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		out        = flag.String("o", "", "output file (.txt = edge list, otherwise binary)")
+		dir        = flag.String("dir", ".", "output directory for -dataset all")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pcpm-graphgen:", err)
+		os.Exit(1)
+	}
+
+	write := func(g *graph.Graph, path string) {
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if strings.HasSuffix(path, ".txt") {
+			err = graph.WriteEdgeList(f, g)
+		} else {
+			err = graph.WriteBinary(f, g)
+		}
+		if err != nil {
+			fail(err)
+		}
+		s := g.ComputeStats()
+		fmt.Printf("%s: %d nodes, %d edges, avg degree %.2f\n", path, s.Nodes, s.Edges, s.AvgDegree)
+	}
+
+	switch {
+	case *dataset == "all":
+		for _, spec := range harness.Datasets() {
+			g, err := spec.Generate(*divisor, *seed)
+			if err != nil {
+				fail(err)
+			}
+			write(g, filepath.Join(*dir, spec.Name+".bin"))
+		}
+	case *dataset != "":
+		spec, err := harness.DatasetByName(*dataset)
+		if err != nil {
+			fail(err)
+		}
+		g, err := spec.Generate(*divisor, *seed)
+		if err != nil {
+			fail(err)
+		}
+		path := *out
+		if path == "" {
+			path = spec.Name + ".bin"
+		}
+		write(g, path)
+	case *kind != "":
+		if *out == "" {
+			fail(fmt.Errorf("-o is required with -kind"))
+		}
+		var g *graph.Graph
+		var err error
+		switch *kind {
+		case "rmat":
+			g, err = gen.RMAT(gen.Graph500RMAT(*scale, *edgefactor, *seed), graph.BuildOptions{})
+		case "er":
+			g, err = gen.ErdosRenyi(*nodes, *edges, *seed, graph.BuildOptions{})
+		case "ba":
+			g, err = gen.PreferentialAttachment(*nodes, *degree, *seed, graph.BuildOptions{})
+		case "copy":
+			g, err = gen.Copying(gen.CopyingConfig{
+				N: *nodes, OutDegree: *degree, CopyProb: 0.45,
+				Locality: *locality, Seed: *seed,
+			}, graph.BuildOptions{})
+		default:
+			err = fmt.Errorf("unknown kind %q", *kind)
+		}
+		if err != nil {
+			fail(err)
+		}
+		write(g, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

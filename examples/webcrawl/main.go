@@ -1,0 +1,79 @@
+// Webcrawl: show how node-label locality drives PCPM's PNG compression
+// ratio and simulated DRAM traffic — the effect behind the paper's
+// Table 6/7 and Fig. 11. A crawl-ordered web graph compresses nearly
+// optimally; shuffling its labels destroys that, and GOrder recovers it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/memsim"
+	"repro/internal/partition"
+	"repro/internal/png"
+	"repro/internal/reorder"
+)
+
+func analyze(name string, g *graph.Graph) {
+	layout, err := partition.FromBytes(g.NumNodes(), 1<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pn, err := png.Build(g, layout, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := memsim.DefaultConfig()
+	cfg.CacheBytes = 128 << 10
+	sim, err := memsim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := memsim.MeasureSteadyState(memsim.NewPCPMReplay(g, pn, sim), sim)
+	fmt.Printf("  %-16s r = %5.2f   |E'| = %8d   DRAM %5.1f B/edge\n",
+		name, pn.CompressionRatio(g), pn.EdgesCompressed,
+		float64(tr.TotalBytes())/float64(g.NumEdges()))
+}
+
+func main() {
+	// A crawl-ordered web graph: 100K pages, strong label locality.
+	crawl, err := gen.Copying(gen.CopyingConfig{
+		N: 100_000, OutDegree: 12, CopyProb: 0.5, Locality: 0.9,
+		Window: 100_000 / 128, Seed: 3,
+	}, graph.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web crawl: %d pages, %d links\n", crawl.NumNodes(), crawl.NumEdges())
+	fmt.Println("PCPM compression and simulated DRAM traffic per labeling:")
+
+	analyze("crawl order", crawl)
+
+	shuffled, err := reorder.Apply(crawl, reorder.Random(crawl.NumNodes(), 11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyze("shuffled labels", shuffled)
+
+	byDegree, err := reorder.Apply(shuffled, reorder.Degree(shuffled))
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyze("degree order", byDegree)
+
+	byBFS, err := reorder.Apply(shuffled, reorder.BFS(shuffled))
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyze("BFS order", byBFS)
+
+	byGOrder, err := reorder.Apply(shuffled, reorder.GOrder(shuffled, reorder.DefaultGOrderConfig()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyze("GOrder", byGOrder)
+
+	fmt.Println("\nhigher r → fewer updates scattered → less DRAM traffic (paper eq. 5)")
+}

@@ -1,0 +1,301 @@
+package apps
+
+import (
+	"container/heap"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// dijkstra is the reference shortest-path implementation.
+func dijkstra(g *graph.Graph, source graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	pq := &distHeap{{node: source, d: 0}}
+	for pq.Len() > 0 {
+		top := heap.Pop(pq).(distEntry)
+		if top.d > dist[top.node] {
+			continue
+		}
+		ws := g.OutWeights(top.node)
+		for i, u := range g.OutNeighbors(top.node) {
+			w := 1.0
+			if ws != nil {
+				w = float64(ws[i])
+			}
+			if nd := top.d + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distEntry{node: u, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distEntry struct {
+	node graph.NodeID
+	d    float64
+}
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// bfsComponents is the reference WCC implementation.
+func bfsComponents(g *graph.Graph) []graph.NodeID {
+	n := g.NumNodes()
+	label := make([]graph.NodeID, n)
+	for i := range label {
+		label[i] = graph.NodeID(n) // unvisited sentinel
+	}
+	for v := 0; v < n; v++ {
+		if label[v] != graph.NodeID(n) {
+			continue
+		}
+		queue := []graph.NodeID{graph.NodeID(v)}
+		label[v] = graph.NodeID(v)
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, u := range g.OutNeighbors(x) {
+				if label[u] == graph.NodeID(n) {
+					label[u] = graph.NodeID(v)
+					queue = append(queue, u)
+				}
+			}
+			for _, u := range g.InNeighbors(x) {
+				if label[u] == graph.NodeID(n) {
+					label[u] = graph.NodeID(v)
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return label
+}
+
+func TestSSSPMatchesDijkstraUnweighted(t *testing.T) {
+	g, err := gen.ErdosRenyi(300, 1800, 7, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []Backend{BackendPCPM, BackendCSR} {
+		res, err := SSSP(g, 0, backend, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := dijkstra(g, 0)
+		for v := range ref {
+			got := float64(res.Dist[v])
+			if math.IsInf(ref[v], 1) != math.IsInf(got, 1) {
+				t.Fatalf("backend %d: reachability differs at node %d", backend, v)
+			}
+			if !math.IsInf(ref[v], 1) && math.Abs(got-ref[v]) > 1e-4 {
+				t.Fatalf("backend %d: dist[%d] = %v, want %v", backend, v, got, ref[v])
+			}
+		}
+	}
+}
+
+func TestSSSPWeighted(t *testing.T) {
+	base, err := gen.ErdosRenyi(200, 1200, 11, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.WithUniformWeights(base, 0.5, 3.0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SSSP(g, 5, BackendPCPM, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := dijkstra(g, 5)
+	for v := range ref {
+		got := float64(res.Dist[v])
+		if math.IsInf(ref[v], 1) {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("node %d should be unreachable", v)
+			}
+			continue
+		}
+		if math.Abs(got-ref[v]) > 1e-3 {
+			t.Fatalf("dist[%d] = %v, want %v", v, got, ref[v])
+		}
+	}
+}
+
+func TestSSSPRejectsNegativeWeights(t *testing.T) {
+	g, err := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1, W: -1}}, true, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SSSP(g, 0, BackendPCPM, 64); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+}
+
+func TestSSSPRejectsBadSource(t *testing.T) {
+	g, err := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}}, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SSSP(g, 9, BackendPCPM, 64); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+}
+
+func TestSSSPPathGraph(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3: distances 0,1,2,3; needs exactly 3 productive rounds.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+	g, err := graph.FromEdges(4, edges, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SSSP(g, 0, BackendPCPM, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range []float32{0, 1, 2, 3} {
+		if res.Dist[v] != want {
+			t.Fatalf("dist = %v", res.Dist)
+		}
+	}
+}
+
+func TestWCCMatchesBFS(t *testing.T) {
+	// Sparse random graph: many components.
+	g, err := gen.ErdosRenyi(500, 400, 3, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []Backend{BackendPCPM, BackendCSR} {
+		res, err := WCC(g, backend, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := bfsComponents(g)
+		// Same partition: labels must induce the same equivalence classes.
+		refOf := map[graph.NodeID]graph.NodeID{}
+		for v := range ref {
+			l := res.Labels[v]
+			if prev, ok := refOf[l]; ok {
+				if prev != ref[v] {
+					t.Fatalf("backend %d: label %d spans two reference components", backend, l)
+				}
+			} else {
+				refOf[l] = ref[v]
+			}
+		}
+		// Count reference components.
+		refSet := map[graph.NodeID]bool{}
+		for _, l := range ref {
+			refSet[l] = true
+		}
+		if res.Components != len(refSet) {
+			t.Fatalf("backend %d: components = %d, want %d", backend, res.Components, len(refSet))
+		}
+	}
+}
+
+func TestWCCSingleComponentCycle(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}
+	g, err := graph.FromEdges(3, edges, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WCC(g, BackendPCPM, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 1 {
+		t.Fatalf("components = %d, want 1", res.Components)
+	}
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatalf("labels = %v, want all 0", res.Labels)
+		}
+	}
+}
+
+func TestWCCEmptyAndIsolated(t *testing.T) {
+	empty, err := graph.FromEdges(0, nil, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := WCC(empty, BackendPCPM, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 0 {
+		t.Fatalf("empty graph components = %d", res.Components)
+	}
+	iso, err := graph.FromEdges(4, nil, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = WCC(iso, BackendCSR, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 4 {
+		t.Fatalf("isolated nodes components = %d, want 4", res.Components)
+	}
+}
+
+func TestPropertyBackendsAgree(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw)%150 + 2
+		m := int64(mRaw) % 1000
+		rng := rand.New(rand.NewPCG(seed, 5))
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.NodeID(rng.IntN(n)), Dst: graph.NodeID(rng.IntN(n))}
+		}
+		g, err := graph.FromEdges(n, edges, false, graph.BuildOptions{})
+		if err != nil {
+			return false
+		}
+		a, err := SSSP(g, 0, BackendPCPM, 64)
+		if err != nil {
+			return false
+		}
+		b, err := SSSP(g, 0, BackendCSR, 64)
+		if err != nil {
+			return false
+		}
+		for v := range a.Dist {
+			if a.Dist[v] != b.Dist[v] {
+				return false
+			}
+		}
+		wa, err := WCC(g, BackendPCPM, 64)
+		if err != nil {
+			return false
+		}
+		wb, err := WCC(g, BackendCSR, 64)
+		if err != nil {
+			return false
+		}
+		return wa.Components == wb.Components
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

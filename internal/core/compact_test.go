@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestCompactIDsBitwiseIdentical(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500RMAT(11, 10, 31), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewPCPM(g, Config{PartitionBytes: 2048, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gather := range []GatherKind{GatherBranchAvoiding, GatherBranching} {
+		compact, err := NewPCPM(g, Config{
+			PartitionBytes: 2048, Workers: 2, CompactIDs: true, Gather: gather,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base.Reset()
+		RunIterations(base, 6)
+		RunIterations(compact, 6)
+		rb, rc := base.Ranks(), compact.Ranks()
+		for i := range rb {
+			if rb[i] != rc[i] {
+				t.Fatalf("gather=%v: compact IDs changed rank[%d]: %v vs %v",
+					gather, i, rc[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestCompactIDsRejectOversizedPartitions(t *testing.T) {
+	g, err := gen.ErdosRenyi(300_000, 1000, 2, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 KB partitions hold 64K nodes — beyond the 15-bit local ID range.
+	if _, err := NewPCPM(g, Config{PartitionBytes: 256 << 10, CompactIDs: true}); err == nil {
+		t.Fatal("accepted compact IDs with 64K-node partitions")
+	}
+}
+
+func TestSchedStaticBitwiseIdentical(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500RMAT(10, 8, 17), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := NewPCPM(g, Config{PartitionBytes: 512, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewPCPM(g, Config{PartitionBytes: 512, Workers: 3, Sched: SchedStatic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunIterations(dyn, 5)
+	RunIterations(st, 5)
+	rd, rs := dyn.Ranks(), st.Ranks()
+	for i := range rd {
+		if rd[i] != rs[i] {
+			t.Fatalf("static scheduling changed rank[%d]", i)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/partition"
+	"repro/internal/png"
+)
+
+// PCPM is the paper's Partition-Centric Processing Methodology engine.
+//
+// Scatter follows Algorithm 3: for each source partition, updates stream to
+// one destination bin at a time through the PNG layout, sending a single
+// update per (node, destination-partition) pair. Gather follows Algorithm 4:
+// the MSB-tagged destination-ID stream is walked with the branch-avoiding
+// update pointer, accumulating into a cache-resident partial-sum buffer,
+// and ranks are applied per partition.
+//
+// The CSRScatter variant (NewPCPMCSR) is Algorithm 2 — partition-centric
+// update deduplication over the raw CSR, without the PNG layout. It scans
+// every out-edge, carries the data-dependent prev-bin branch, and
+// interleaves bin writes; the paper introduces PNG precisely to remove
+// those costs, and the ablation benchmark measures the difference.
+type PCPM struct {
+	state  *rankState
+	cfg    Config
+	layout partition.Layout
+	pn     *png.PNG
+
+	csrScatter bool
+	branching  bool
+	// staticBounds holds the per-worker partition ranges used when the
+	// SchedStatic ablation is selected; nil under dynamic scheduling.
+	staticBounds []int
+
+	updates    [][]float32 // per destination bin, len = UpdateCount
+	workerSums [][]float32
+	workerCur  [][]int32 // per-worker bin cursors for the CSR scatter
+
+	preprocess time.Duration
+	stats      PhaseStats
+}
+
+// NewPCPM builds the full PCPM engine (PNG scatter + configured gather).
+// PNG construction is the preprocessing cost reported in Table 8.
+func NewPCPM(g *graph.Graph, cfg Config) (*PCPM, error) {
+	return newPCPM(g, cfg, false)
+}
+
+// NewPCPMCSR builds the Algorithm 2 ablation: partition-centric scatter
+// directly over CSR, no PNG. Its gather honors cfg.Gather like NewPCPM.
+func NewPCPMCSR(g *graph.Graph, cfg Config) (*PCPM, error) {
+	return newPCPM(g, cfg, true)
+}
+
+func newPCPM(g *graph.Graph, cfg Config, csrScatter bool) (*PCPM, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	layout, err := partition.FromBytes(g.NumNodes(), cfg.PartitionBytes)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var pn *png.PNG
+	if cfg.CompactIDs {
+		pn, err = png.BuildCompact(g, layout, cfg.Workers)
+	} else {
+		pn, err = png.Build(g, layout, cfg.Workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &PCPM{
+		state:      newRankState(g, cfg.Damping, cfg.Dangling),
+		cfg:        cfg,
+		layout:     layout,
+		pn:         pn,
+		csrScatter: csrScatter,
+		branching:  cfg.Gather == GatherBranching,
+		updates:    make([][]float32, pn.K),
+	}
+	for q := 0; q < pn.K; q++ {
+		e.updates[q] = make([]float32, pn.UpdateCount[q])
+	}
+	workers := par.Workers(cfg.Workers)
+	e.workerSums = make([][]float32, workers)
+	e.workerCur = make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		e.workerSums[w] = make([]float32, layout.Size())
+		e.workerCur[w] = make([]int32, pn.K)
+	}
+	if cfg.Sched == SchedStatic {
+		unit := make([]int64, pn.K)
+		for i := range unit {
+			unit[i] = 1
+		}
+		e.staticBounds = par.BalancedRanges(unit, workers)
+	}
+	e.preprocess = time.Since(start)
+	return e, nil
+}
+
+// forPartitions runs fn over every partition under the configured
+// scheduling policy, providing the worker index for scratch access.
+func (e *PCPM) forPartitions(fn func(worker, p int)) {
+	if e.staticBounds != nil {
+		par.ForRanges(e.staticBounds, func(w, lo, hi int) {
+			for p := lo; p < hi; p++ {
+				fn(w, p)
+			}
+		})
+		return
+	}
+	par.ForDynamicWorker(e.pn.K, e.cfg.Workers, fn)
+}
+
+// Name implements Engine.
+func (e *PCPM) Name() string {
+	if e.csrScatter {
+		return "pcpm-csr"
+	}
+	return "pcpm"
+}
+
+// Graph implements Engine.
+func (e *PCPM) Graph() *graph.Graph { return e.state.g }
+
+// PreprocessTime implements Engine.
+func (e *PCPM) PreprocessTime() time.Duration { return e.preprocess }
+
+// PNG exposes the layout for the traffic replayers and design-space tools.
+func (e *PCPM) PNG() *png.PNG { return e.pn }
+
+// Layout exposes the partitioning.
+func (e *PCPM) Layout() partition.Layout { return e.layout }
+
+// CompressionRatio returns r = |E| / |E'| for this engine's layout.
+func (e *PCPM) CompressionRatio() float64 { return e.pn.CompressionRatio(e.state.g) }
+
+// Step implements Engine: one scatter+gather iteration.
+func (e *PCPM) Step() float64 {
+	scatterStart := time.Now()
+	if e.csrScatter {
+		e.scatterCSR()
+	} else {
+		e.scatterPNG()
+	}
+	scatterDur := time.Since(scatterStart)
+
+	gatherStart := time.Now()
+	delta := e.gather()
+	gatherDur := time.Since(gatherStart)
+
+	e.stats.Scatter += scatterDur
+	e.stats.Gather += gatherDur
+	e.stats.Total += scatterDur + gatherDur
+	e.stats.Iterations++
+	return delta
+}
+
+// scatterPNG is Algorithm 3: stream one bin at a time per source partition.
+// Writes are branch-free and grouped by destination, the property that
+// removes random DRAM traffic (§3.3).
+func (e *PCPM) scatterPNG() {
+	pn := e.pn
+	spr := e.state.spr
+	k := pn.K
+	e.forPartitions(func(_, p int) {
+		off := pn.SubOff[p]
+		srcs := pn.SubSrc[p]
+		row := p * k
+		for q := 0; q < k; q++ {
+			group := srcs[off[q]:off[q+1]]
+			if len(group) == 0 {
+				continue
+			}
+			out := e.updates[q][pn.UpdateWriteOff[row+q]:]
+			for i, u := range group {
+				out[i] = spr[u]
+			}
+		}
+	})
+}
+
+// scatterCSR is Algorithm 2's scatter: scan every out-edge of the
+// partition's nodes, inserting one update per destination-partition run.
+// The bu/qc != prev_bin check is the data-dependent branch PNG eliminates.
+func (e *PCPM) scatterCSR() {
+	pn := e.pn
+	g := e.state.g
+	spr := e.state.spr
+	k := pn.K
+	shift := e.layout.Shift()
+	outOff := g.OutOffsets()
+	outAdj := g.OutAdjacency()
+	e.forPartitions(func(w, p int) {
+		cur := e.workerCur[w]
+		for q := range cur {
+			cur[q] = 0
+		}
+		row := p * k
+		lo, hi := e.layout.Bounds(p)
+		for v := lo; v < hi; v++ {
+			sv := spr[v]
+			prev := -1
+			for _, u := range outAdj[outOff[v]:outOff[v+1]] {
+				q := int(u >> shift)
+				if q != prev {
+					e.updates[q][pn.UpdateWriteOff[row+q]+cur[q]] = sv
+					cur[q]++
+					prev = q
+				}
+			}
+		}
+	})
+}
+
+// gather drains every destination bin into cached partial sums and applies
+// the PageRank update per partition. The update pointer advances by the
+// destination ID's MSB (Algorithm 4) unless the branching ablation is
+// selected.
+func (e *PCPM) gather() float64 {
+	st := e.state
+	pn := e.pn
+	base := st.baseTerm()
+	dterm := st.danglingTerm()
+	workers := len(e.workerSums)
+	deltas := make([]float64, workers)
+	danglings := make([]float64, workers)
+	e.forPartitions(func(w, q int) {
+		lo, hi := e.layout.Bounds(q)
+		sums := e.workerSums[w][:int(hi-lo)]
+		for i := range sums {
+			sums[i] = 0
+		}
+		ups := e.updates[q]
+		switch {
+		case pn.DestIDs16 != nil && !e.branching:
+			// Compact branch-avoiding gather: 16-bit partition-local IDs.
+			uptr := -1
+			for _, id := range pn.DestIDs16[q] {
+				uptr += int(id >> 15)
+				sums[id&png.CompactIDMask] += ups[uptr]
+			}
+		case pn.DestIDs16 != nil:
+			uptr := 0
+			var cur float32
+			for _, id := range pn.DestIDs16[q] {
+				if id&png.CompactMSB != 0 {
+					cur = ups[uptr]
+					uptr++
+				}
+				sums[id&png.CompactIDMask] += cur
+			}
+		case e.branching:
+			uptr := 0
+			var cur float32
+			for _, id := range pn.DestIDs[q] {
+				if id&graph.MSBMask != 0 {
+					cur = ups[uptr]
+					uptr++
+				}
+				sums[(id&graph.IDMask)-lo] += cur
+			}
+		default:
+			uptr := -1
+			for _, id := range pn.DestIDs[q] {
+				uptr += int(id >> 31)
+				sums[(id&graph.IDMask)-lo] += ups[uptr]
+			}
+		}
+		d, dang := st.applyRange(int(lo), int(hi), sums, base, dterm)
+		deltas[w] += d
+		danglings[w] += dang
+	})
+	var delta, dangling float64
+	for w := 0; w < workers; w++ {
+		delta += deltas[w]
+		dangling += danglings[w]
+	}
+	st.dangling = dangling
+	return delta
+}
+
+// Ranks implements Engine.
+func (e *PCPM) Ranks() []float32 { return e.state.ranksCopy() }
+
+// Stats implements Engine.
+func (e *PCPM) Stats() PhaseStats { return e.stats }
+
+// Reset implements Engine. The PNG layout and bins are structural and kept.
+func (e *PCPM) Reset() {
+	e.state.reset()
+	e.stats = PhaseStats{}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Push is the push-direction baseline discussed in §2.1: each node adds its
+// scaled rank to all out-neighbors' partial sums. It needs both storage for
+// the partial sums and synchronization (rows of A updating the same output
+// element), which is exactly why the paper's GAS engines exist. Partial
+// sums use compare-and-swap float accumulation.
+type Push struct {
+	state       *rankState
+	cfg         Config
+	bounds      []int    // static edge-balanced source ranges
+	applyBounds []int    // static node-balanced ranges for the apply sweep
+	sums        []uint32 // float32 bits, CAS-accumulated
+	stats       PhaseStats
+}
+
+// NewPush builds the push-direction engine.
+func NewPush(g *graph.Graph, cfg Config) (*Push, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	cost := make([]int64, n)
+	for v := 0; v < n; v++ {
+		cost[v] = g.OutDegree(graph.NodeID(v)) + 1
+	}
+	unit := make([]int64, n)
+	for i := range unit {
+		unit[i] = 1
+	}
+	return &Push{
+		state:       newRankState(g, cfg.Damping, cfg.Dangling),
+		cfg:         cfg,
+		bounds:      par.BalancedRanges(cost, cfg.Workers),
+		applyBounds: par.BalancedRanges(unit, cfg.Workers),
+		sums:        make([]uint32, n),
+	}, nil
+}
+
+// Name implements Engine.
+func (e *Push) Name() string { return "push" }
+
+// Graph implements Engine.
+func (e *Push) Graph() *graph.Graph { return e.state.g }
+
+// PreprocessTime implements Engine.
+func (e *Push) PreprocessTime() time.Duration { return 0 }
+
+func atomicAddFloat32(addr *uint32, v float32) {
+	for {
+		old := atomic.LoadUint32(addr)
+		nv := math.Float32bits(math.Float32frombits(old) + v)
+		if atomic.CompareAndSwapUint32(addr, old, nv) {
+			return
+		}
+	}
+}
+
+// Step implements Engine: one push iteration.
+func (e *Push) Step() float64 {
+	start := time.Now()
+	st := e.state
+	g := st.g
+	outOff := g.OutOffsets()
+	outAdj := g.OutAdjacency()
+	spr := st.spr
+	for i := range e.sums {
+		e.sums[i] = 0
+	}
+	par.ForRanges(e.bounds, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sv := spr[v]
+			if sv == 0 {
+				continue
+			}
+			for _, u := range outAdj[outOff[v]:outOff[v+1]] {
+				atomicAddFloat32(&e.sums[u], sv)
+			}
+		}
+	})
+	base := st.baseTerm()
+	dterm := st.danglingTerm()
+	workers := len(e.applyBounds) - 1
+	deltas := make([]float64, workers)
+	danglings := make([]float64, workers)
+	par.ForRanges(e.applyBounds, func(w, lo, hi int) {
+		var delta, dangling float64
+		d := float32(st.damping)
+		for v := lo; v < hi; v++ {
+			old := st.pr[v]
+			nv := base + d*(math.Float32frombits(e.sums[v])+dterm)
+			st.pr[v] = nv
+			diff := float64(nv - old)
+			if diff < 0 {
+				diff = -diff
+			}
+			delta += diff
+			if deg := g.OutDegree(graph.NodeID(v)); deg > 0 {
+				st.spr[v] = nv / float32(deg)
+			} else {
+				dangling += float64(nv)
+			}
+		}
+		deltas[w] = delta
+		danglings[w] = dangling
+	})
+	var delta, dangling float64
+	for w := 0; w < workers; w++ {
+		delta += deltas[w]
+		dangling += danglings[w]
+	}
+	st.dangling = dangling
+	e.stats.Total += time.Since(start)
+	e.stats.Iterations++
+	return delta
+}
+
+// Ranks implements Engine.
+func (e *Push) Ranks() []float32 { return e.state.ranksCopy() }
+
+// Stats implements Engine.
+func (e *Push) Stats() PhaseStats { return e.stats }
+
+// Reset implements Engine.
+func (e *Push) Reset() {
+	e.state.reset()
+	e.stats = PhaseStats{}
+}

@@ -1,0 +1,263 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestErdosRenyiBasics(t *testing.T) {
+	g, err := ErdosRenyi(100, 500, 42, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 || g.NumEdges() != 500 {
+		t.Fatalf("got %d nodes / %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiRejectsBadInput(t *testing.T) {
+	if _, err := ErdosRenyi(0, 10, 1, graph.BuildOptions{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, err := ErdosRenyi(64, 256, 7, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErdosRenyi(64, 256, 7, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("ErdosRenyi not deterministic for fixed seed")
+	}
+	c, err := ErdosRenyi(64, 256, 8, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATBasics(t *testing.T) {
+	cfg := Graph500RMAT(10, 8, 99)
+	g, err := RMAT(cfg, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1024 {
+		t.Fatalf("nodes = %d, want 1024", g.NumNodes())
+	}
+	if g.NumEdges() != 8192 {
+		t.Fatalf("edges = %d, want 8192", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// R-MAT with Graph500 parameters must be skewed: the max in-degree
+	// should far exceed the average degree.
+	if g.MaxInDegree() < 4*int64(g.AvgDegree()) {
+		t.Errorf("R-MAT degree skew too small: max in-degree %d vs avg %.1f",
+			g.MaxInDegree(), g.AvgDegree())
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := Graph500RMAT(8, 4, 5)
+	a, _ := RMAT(cfg, graph.BuildOptions{})
+	b, _ := RMAT(cfg, graph.BuildOptions{})
+	if !a.Equal(b) {
+		t.Fatal("RMAT not deterministic")
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: -1, EdgeFactor: 4, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 40, EdgeFactor: 4, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 4, EdgeFactor: -1, A: 0.5, B: 0.2, C: 0.2},
+		{Scale: 4, EdgeFactor: 4, A: 0.9, B: 0.2, C: 0.2}, // probs > 1
+	}
+	for i, cfg := range bad {
+		if _, err := RMAT(cfg, graph.BuildOptions{}); err == nil {
+			t.Errorf("case %d: RMAT accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := PreferentialAttachment(2000, 8, 3, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != int64(1999*8) {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), 1999*8)
+	}
+	// Preferential attachment yields heavy-tailed in-degree.
+	if g.MaxInDegree() < 8*int64(g.AvgDegree()) {
+		t.Errorf("in-degree skew too small: max %d vs avg %.1f", g.MaxInDegree(), g.AvgDegree())
+	}
+	if _, err := PreferentialAttachment(0, 4, 1, graph.BuildOptions{}); err == nil {
+		t.Error("accepted n=0")
+	}
+}
+
+func TestCopyingModel(t *testing.T) {
+	cfg := CopyingConfig{N: 2000, OutDegree: 8, CopyProb: 0.5, Locality: 0.5, Seed: 11}
+	g, err := Copying(cfg, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2000*8 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestCopyingLocalityShrinksEdgeSpan(t *testing.T) {
+	// The average |src-dst| distance must shrink as Locality rises; that is
+	// the property that gives the `web` analog its high compression ratio.
+	span := func(locality float64) float64 {
+		cfg := CopyingConfig{N: 4000, OutDegree: 8, CopyProb: 0.3, Locality: locality, Seed: 17}
+		g, err := Copying(cfg, graph.BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, e := range g.Edges() {
+			d := int64(e.Src) - int64(e.Dst)
+			if d < 0 {
+				d = -d
+			}
+			total += float64(d)
+		}
+		return total / float64(g.NumEdges())
+	}
+	low, high := span(0.05), span(0.95)
+	if high >= low/2 {
+		t.Fatalf("locality had no effect: span(0.05)=%.0f span(0.95)=%.0f", low, high)
+	}
+}
+
+func TestCopyingValidation(t *testing.T) {
+	if _, err := Copying(CopyingConfig{N: 0}, graph.BuildOptions{}); err == nil {
+		t.Error("accepted N=0")
+	}
+	if _, err := Copying(CopyingConfig{N: 10, OutDegree: 2, CopyProb: 1.5}, graph.BuildOptions{}); err == nil {
+		t.Error("accepted CopyProb > 1")
+	}
+	if _, err := Copying(CopyingConfig{N: 10, OutDegree: 2, Locality: -0.1}, graph.BuildOptions{}); err == nil {
+		t.Error("accepted negative Locality")
+	}
+}
+
+func TestRandomPermutationIsBijection(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		perm := RandomPermutation(n, seed)
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if int(p) >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithUniformWeights(t *testing.T) {
+	g, err := ErdosRenyi(50, 200, 21, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := WithUniformWeights(g, 0.5, 2.0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wg.Weighted() {
+		t.Fatal("weighted graph not marked weighted")
+	}
+	if wg.NumEdges() != g.NumEdges() {
+		t.Fatal("weighting changed edge count")
+	}
+	for v := 0; v < wg.NumNodes(); v++ {
+		for _, w := range wg.OutWeights(graph.NodeID(v)) {
+			if w < 0.5 || w >= 2.0 {
+				t.Fatalf("weight %v outside [0.5, 2.0)", w)
+			}
+		}
+	}
+}
+
+func TestRMATPermuteLabelsChangesLocality(t *testing.T) {
+	base := Graph500RMAT(10, 8, 123)
+	base.PermuteLabels = false
+	noPerm, err := RMAT(base, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.PermuteLabels = true
+	perm, err := RMAT(base, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noPerm.Equal(perm) {
+		t.Fatal("PermuteLabels had no effect")
+	}
+	if noPerm.NumEdges() != perm.NumEdges() {
+		t.Fatal("permutation changed edge count")
+	}
+}
+
+func TestPrefGlobalValidationAndSkew(t *testing.T) {
+	if _, err := Copying(CopyingConfig{N: 10, OutDegree: 2, PrefGlobal: 1.5}, graph.BuildOptions{}); err == nil {
+		t.Error("accepted PrefGlobal > 1")
+	}
+	base := CopyingConfig{N: 5000, OutDegree: 10, CopyProb: 0.3, Locality: 0.3, Seed: 9}
+	flat, err := Copying(base, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.PrefGlobal = 0.8
+	skewed, err := Copying(base, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.MaxInDegree() < 2*flat.MaxInDegree() {
+		t.Fatalf("PrefGlobal did not add hub skew: %d vs %d",
+			skewed.MaxInDegree(), flat.MaxInDegree())
+	}
+}
+
+func TestPreferentialAttachmentMixValidation(t *testing.T) {
+	if _, err := PreferentialAttachmentMix(10, 2, -0.1, 1, graph.BuildOptions{}); err == nil {
+		t.Error("accepted negative uniform fraction")
+	}
+	if _, err := PreferentialAttachmentMix(10, 2, 2, 1, graph.BuildOptions{}); err == nil {
+		t.Error("accepted uniform fraction > 1")
+	}
+	g, err := PreferentialAttachmentMix(500, 8, 0.5, 3, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"repro/internal/core"
+)
+
+// Ablations measures the paper's three PCPM design choices in isolation
+// (DESIGN.md §5): the PNG layout vs Algorithm 2's CSR scatter, the
+// branch-avoiding vs branching gather, and dynamic vs static partition
+// scheduling.
+func Ablations(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	t := &Table{
+		ID:    "ablations",
+		Title: "PCPM design-choice ablations (per-iteration times)",
+		Header: []string{"dataset",
+			"scatter png", "scatter csr", "csr/png",
+			"gather b-avoid", "gather branch", "branch/avoid",
+			"total dynamic", "total static", "static/dynamic"},
+		Notes: []string{
+			"csr/png > 1 means the PNG layout pays off (paper §3.3); branch/avoid > 1 means branch avoidance pays off (§3.4)",
+			"scheduling differences only matter with multiple workers and skewed partitions",
+		},
+	}
+	iters := opt.Iterations / 4
+	if iters < 3 {
+		iters = 3
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		base := timingConfig(opt)
+
+		pngEng, err := core.NewPCPM(g, base)
+		if err != nil {
+			return nil, err
+		}
+		csrEng, err := core.NewPCPMCSR(g, base)
+		if err != nil {
+			return nil, err
+		}
+		brCfg := base
+		brCfg.Gather = core.GatherBranching
+		brEng, err := core.NewPCPM(g, brCfg)
+		if err != nil {
+			return nil, err
+		}
+		stCfg := base
+		stCfg.Sched = core.SchedStatic
+		stEng, err := core.NewPCPM(g, stCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		sPNG := measure(pngEng, iters)
+		sCSR := measure(csrEng, iters)
+		sBr := measure(brEng, iters)
+		sSt := measure(stEng, iters)
+
+		t.AddRow(spec.Name,
+			ms(secs(sPNG.Scatter)), ms(secs(sCSR.Scatter)), f2(secs(sCSR.Scatter)/secs(sPNG.Scatter)),
+			ms(secs(sPNG.Gather)), ms(secs(sBr.Gather)), f2(secs(sBr.Gather)/secs(sPNG.Gather)),
+			ms(secs(sPNG.Total)), ms(secs(sSt.Total)), f2(secs(sSt.Total)/secs(sPNG.Total)))
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/partition"
+	"repro/internal/png"
+)
+
+// Compact evaluates the paper's §6 future-work proposal: G-Store-style
+// "smallest number of bits" destination IDs. Because the PCPM gather only
+// addresses nodes of one partition at a time, destination IDs shrink to
+// 15-bit partition-local offsets (plus the demarcation flag). The
+// experiment reports simulated traffic and measured time with 4-byte vs
+// 2-byte ID streams.
+func Compact(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	t := &Table{
+		ID:    "compact",
+		Title: "Extension (§6): 16-bit compact destination IDs",
+		Header: []string{"dataset",
+			"bytes/edge 4B", "bytes/edge 2B", "traffic ratio",
+			"time/iter 4B", "time/iter 2B", "speedup"},
+		Notes: []string{
+			"gather's dominant stream is m destination IDs; compacting them to 2 bytes targets the m·di term of eq. 5",
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		// Traffic: simulated at the scaled geometry.
+		layout, err := partition.FromBytes(g.NumNodes(), opt.SimPartitionBytes())
+		if err != nil {
+			return nil, err
+		}
+		pn, err := png.BuildCompact(g, layout, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sim4, err := newSim(opt)
+		if err != nil {
+			return nil, err
+		}
+		tr4 := memsim.MeasureSteadyState(memsim.NewPCPMReplay(g, pn, sim4), sim4)
+		sim2, err := newSim(opt)
+		if err != nil {
+			return nil, err
+		}
+		tr2 := memsim.MeasureSteadyState(memsim.NewPCPMReplayCompact(g, pn, sim2), sim2)
+
+		// Time: measured with the real engines.
+		cfg := timingConfig(opt)
+		e4, err := core.NewPCPM(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg2 := cfg
+		cfg2.CompactIDs = true
+		e2, err := core.NewPCPM(g, cfg2)
+		if err != nil {
+			return nil, err
+		}
+		s4 := measure(e4, opt.Iterations)
+		s2 := measure(e2, opt.Iterations)
+
+		be4 := float64(tr4.TotalBytes()) / float64(g.NumEdges())
+		be2 := float64(tr2.TotalBytes()) / float64(g.NumEdges())
+		t.AddRow(spec.Name,
+			f1(be4), f1(be2), f2(be2/be4),
+			ms(secs(s4.Total)), ms(secs(s2.Total)), f2(secs(s4.Total)/secs(s2.Total)))
+	}
+	return t, nil
+}

@@ -1,0 +1,412 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/memsim"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/png"
+	"repro/internal/reorder"
+)
+
+// paperTable7 holds the paper's per-iteration DRAM transfer in GB:
+// {PDPR orig, PDPR gorder, BVGAS orig, BVGAS gorder, PCPM orig, PCPM gorder}.
+var paperTable7 = map[string][6]float64{
+	"gplus":   {13.1, 7.4, 9.3, 9.3, 6.6, 5.1},
+	"pld":     {24.5, 10.7, 12.6, 12.5, 9.4, 6.1},
+	"web":     {7.5, 7.6, 21.6, 21.3, 8.5, 8.4},
+	"kron":    {18.1, 10.8, 19.9, 19.5, 10.4, 7.5},
+	"twitter": {68.2, 31.6, 28.8, 28.2, 19.4, 13.4},
+	"sd1":     {65.1, 23.8, 37.8, 37.8, 26.9, 15.6},
+}
+
+// newSim builds the scaled-LLC simulator for an options set.
+func newSim(opt Options) (*memsim.Sim, error) {
+	cfg := memsim.DefaultConfig()
+	cfg.CacheBytes = opt.SimCacheBytes()
+	return memsim.New(cfg)
+}
+
+// simMethodTraffic replays one steady-state iteration of the named method.
+func simMethodTraffic(g *graph.Graph, method string, opt Options) (memsim.Traffic, error) {
+	sim, err := newSim(opt)
+	if err != nil {
+		return memsim.Traffic{}, err
+	}
+	switch method {
+	case "pdpr":
+		return memsim.MeasureSteadyState(memsim.NewPDPRReplay(g, sim), sim), nil
+	case "bvgas":
+		layout, err := partition.FromBytes(g.NumNodes(), opt.SimPartitionBytes())
+		if err != nil {
+			return memsim.Traffic{}, err
+		}
+		return memsim.MeasureSteadyState(memsim.NewBVGASReplay(g, layout, sim), sim), nil
+	case "pcpm":
+		layout, err := partition.FromBytes(g.NumNodes(), opt.SimPartitionBytes())
+		if err != nil {
+			return memsim.Traffic{}, err
+		}
+		pn, err := png.Build(g, layout, opt.Workers)
+		if err != nil {
+			return memsim.Traffic{}, err
+		}
+		return memsim.MeasureSteadyState(memsim.NewPCPMReplay(g, pn, sim), sim), nil
+	default:
+		return memsim.Traffic{}, fmt.Errorf("harness: unknown method %q", method)
+	}
+}
+
+// Fig1 reproduces the share of PDPR DRAM traffic caused by vertex-value
+// accesses.
+func Fig1(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Vertex-value share of PDPR DRAM traffic",
+		Header: []string{"dataset", "value bytes/iter", "total bytes/iter", "share %", "measured cmr"},
+		Notes: []string{
+			fmt.Sprintf("simulated %s LLC (paper's 25MB scaled 1/%d); the paper's Fig. 1 shows 60–95%%", byteSize(opt.SimCacheBytes()), opt.Divisor),
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := simMethodTraffic(g, "pdpr", opt)
+		if err != nil {
+			return nil, err
+		}
+		share := 100 * float64(tr.StreamBytes(memsim.StreamValues)) / float64(tr.TotalBytes())
+		// cmr: value-stream read misses approximated from value read bytes
+		// over line size, divided by m value reads.
+		cmr := float64(tr.PerStreamReadBytes[memsim.StreamValues]) / 64 / float64(g.NumEdges())
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%d", tr.StreamBytes(memsim.StreamValues)),
+			fmt.Sprintf("%d", tr.TotalBytes()),
+			f1(share), f3(cmr))
+	}
+	return t, nil
+}
+
+// Fig8 reproduces main-memory traffic per edge for the three methods.
+func Fig8(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	t := &Table{
+		ID:     "fig8",
+		Title:  "DRAM bytes accessed per edge",
+		Header: []string{"dataset", "pdpr", "bvgas", "pcpm", "paper pdpr", "paper bvgas", "paper pcpm"},
+		Notes: []string{
+			"paper columns derive from Table 7 (orig labels) divided by edge counts",
+			"expected shape: BVGAS ≈ flat; PCPM lowest except on web-like graphs where PDPR competes",
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, method := range []string{"pdpr", "bvgas", "pcpm"} {
+			tr, err := simMethodTraffic(g, method, opt)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(float64(tr.TotalBytes())/float64(g.NumEdges())))
+		}
+		paper := paperTable7[spec.Name]
+		edges := spec.PaperEdgesM * 1e6
+		row = append(row,
+			f1(paper[0]*1e9/edges), f1(paper[2]*1e9/edges), f1(paper[4]*1e9/edges))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces sustained memory bandwidth: simulated traffic per
+// iteration divided by measured per-iteration wall time.
+func Fig9(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Sustained memory bandwidth (simulated bytes / measured time)",
+		Header: []string{"dataset", "pdpr GB/s", "bvgas GB/s", "pcpm GB/s"},
+		Notes: []string{
+			"hybrid metric: traffic from the cache simulator, time from the real engines; the paper's shape is PCPM > PDPR > BVGAS",
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		pdpr, bvgas, pcpm, err := buildTimingEngines(g, opt)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, mc := range []struct {
+			method string
+			stats  func() float64
+		}{
+			{"pdpr", func() float64 { return secs(measure(pdpr, opt.Iterations).Total) }},
+			{"bvgas", func() float64 { return secs(measure(bvgas, opt.Iterations).Total) }},
+			{"pcpm", func() float64 { return secs(measure(pcpm, opt.Iterations).Total) }},
+		} {
+			tr, err := simMethodTraffic(g, mc.method, opt)
+			if err != nil {
+				return nil, err
+			}
+			bw := float64(tr.TotalBytes()) / mc.stats() / 1e9
+			row = append(row, f2(bw))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig10 reproduces DRAM energy per edge under the energy model.
+func Fig10(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	em := memsim.DefaultEnergyModel()
+	t := &Table{
+		ID:     "fig10",
+		Title:  "DRAM energy per edge (nJ)",
+		Header: []string{"dataset", "pdpr", "bvgas", "pcpm", "pcpm activations", "bvgas activations"},
+		Notes: []string{
+			fmt.Sprintf("energy model: %.1f nJ per 64B line + %.1f nJ per row activation; the paper's Fig. 10 shows PCPM lowest everywhere", em.LineTransferNJ, em.ActivationNJ),
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		var acts [3]uint64
+		for i, method := range []string{"pdpr", "bvgas", "pcpm"} {
+			tr, err := simMethodTraffic(g, method, opt)
+			if err != nil {
+				return nil, err
+			}
+			acts[i] = tr.Activations
+			row = append(row, f2(em.EnergyNJ(tr, 64)/float64(g.NumEdges())))
+		}
+		row = append(row, fmt.Sprintf("%d", acts[2]), fmt.Sprintf("%d", acts[1]))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// simSweepSizes are the partition sizes swept by the traffic simulation
+// (Fig. 12) — the paper's 32 KB–8 MB scaled down, extended past the scaled
+// cache size so the over-capacity cliff is visible.
+func simSweepSizes() []int {
+	return []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10,
+		16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+}
+
+// Fig12 reproduces PCPM DRAM traffic per edge across partition sizes.
+func Fig12(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	sizes := simSweepSizes()
+	header := []string{"dataset"}
+	for _, s := range sizes {
+		header = append(header, byteSize(s))
+	}
+	t := &Table{
+		ID:     "fig12",
+		Title:  "PCPM DRAM bytes per edge vs partition size",
+		Header: header,
+		Notes: []string{
+			fmt.Sprintf("simulated %s LLC; traffic falls with compression until partitions outgrow the cache, then rises (paper Fig. 12)", byteSize(opt.SimCacheBytes())),
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, size := range sizes {
+			layout, err := partition.FromBytes(g.NumNodes(), size)
+			if err != nil {
+				return nil, err
+			}
+			pn, err := png.Build(g, layout, opt.Workers)
+			if err != nil {
+				return nil, err
+			}
+			sim, err := newSim(opt)
+			if err != nil {
+				return nil, err
+			}
+			tr := memsim.MeasureSteadyState(memsim.NewPCPMReplay(g, pn, sim), sim)
+			row = append(row, f1(float64(tr.TotalBytes())/float64(g.NumEdges())))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// gorderOptions reduces the scale for the relabeling experiments: GOrder is
+// quadratic-ish in degree and the paper itself calls such reorderings
+// "substantial pre-processing".
+func gorderOptions(opt Options) Options {
+	opt = opt.normalized()
+	if opt.Divisor < 1024 {
+		opt.Divisor = 1024
+	}
+	return opt
+}
+
+// gorderRelabel returns the GOrder-relabeled version of g.
+func gorderRelabel(g *graph.Graph) (*graph.Graph, error) {
+	perm := reorder.GOrder(g, reorder.DefaultGOrderConfig())
+	return reorder.Apply(g, perm)
+}
+
+// Table6 reproduces locality vs compression ratio under original and
+// GOrder labelings.
+func Table6(opt Options) (*Table, error) {
+	opt = gorderOptions(opt)
+	t := &Table{
+		ID:    "table6",
+		Title: "Locality vs compression ratio r (orig vs GOrder)",
+		Header: []string{"dataset", "edges", "png edges orig", "r orig",
+			"png edges gorder", "r gorder", "paper r orig", "paper r gorder"},
+		Notes: []string{
+			fmt.Sprintf("GOrder experiments run at 1/%d scale; partition size %s preserves the paper's n/q ≈ 512 geometry", opt.Divisor, byteSize(opt.SimPartitionBytes())),
+			"expected shape: GOrder raises r everywhere except web, whose crawl labels are already near-optimal",
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		layout, err := partition.FromBytes(g.NumNodes(), opt.SimPartitionBytes())
+		if err != nil {
+			return nil, err
+		}
+		orig, err := png.Build(g, layout, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		gg, err := gorderRelabel(g)
+		if err != nil {
+			return nil, err
+		}
+		gord, err := png.Build(gg, layout, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%d", g.NumEdges()),
+			fmt.Sprintf("%d", orig.EdgesCompressed), f2(orig.CompressionRatio(g)),
+			fmt.Sprintf("%d", gord.EdgesCompressed), f2(gord.CompressionRatio(gg)),
+			f2(spec.PaperROrig), f2(spec.PaperRGOrd))
+	}
+	return t, nil
+}
+
+// Table7 reproduces DRAM transfer per iteration under both labelings.
+func Table7(opt Options) (*Table, error) {
+	opt = gorderOptions(opt)
+	t := &Table{
+		ID:    "table7",
+		Title: "DRAM MB per iteration: original vs GOrder labels",
+		Header: []string{"dataset",
+			"pdpr orig", "pdpr gorder", "bvgas orig", "bvgas gorder",
+			"pcpm orig", "pcpm gorder", "paper pcpm orig (GB)", "paper pcpm gorder (GB)"},
+		Notes: []string{
+			"expected shape: BVGAS constant under relabeling; PDPR and PCPM improve (paper Table 7)",
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		gg, err := gorderRelabel(g)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, method := range []string{"pdpr", "bvgas", "pcpm"} {
+			for _, gr := range []*graph.Graph{g, gg} {
+				tr, err := simMethodTraffic(gr, method, opt)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f2(float64(tr.TotalBytes())/1e6))
+			}
+		}
+		paper := paperTable7[spec.Name]
+		row = append(row, f1(paper[4]), f1(paper[5]))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig6 renders the analytical Fig. 6 sweep: predicted PCPM traffic vs
+// compression ratio for the paper's kron parameters.
+func Fig6(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Predicted DRAM traffic vs compression ratio (kron, analytical)",
+		Header: []string{"r", "predicted GB", "at/past optimal r=m/n"},
+		Notes: []string{
+			"paper parameters: n=33.5M, m=1070M, k=512, di=dv=4; curve should drop fast for r ≤ 5 and flatten past it",
+		},
+	}
+	for _, pt := range model.Fig6Sweep(model.KronScale25(), 32, 1) {
+		mark := ""
+		if pt.Optimal {
+			mark = "yes"
+		}
+		t.AddRow(f1(pt.R), f2(pt.CommGB), mark)
+	}
+	return t, nil
+}
+
+// Fig11 reproduces compression ratio vs partition size.
+func Fig11(opt Options) (*Table, error) {
+	opt = opt.normalized()
+	sizes := simSweepSizes()
+	header := []string{"dataset"}
+	for _, s := range sizes {
+		header = append(header, byteSize(s))
+	}
+	t := &Table{
+		ID:     "fig11",
+		Title:  "Compression ratio r vs partition size",
+		Header: header,
+		Notes: []string{
+			"r is non-decreasing in partition size; web-like labels compress early (paper Fig. 11)",
+		},
+	}
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{spec.Name}
+		for _, size := range sizes {
+			layout, err := partition.FromBytes(g.NumNodes(), size)
+			if err != nil {
+				return nil, err
+			}
+			pn, err := png.Build(g, layout, opt.Workers)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(pn.CompressionRatio(g)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testOpts shrinks the analogs (~3.5K–14K nodes) so the full experiment
+// suite smoke-tests quickly.
+func testOpts() Options {
+	return Options{Divisor: 8192, Workers: 2, Iterations: 2, Seed: 7}
+}
+
+func TestDatasetsMatchPaperDegrees(t *testing.T) {
+	opt := testOpts()
+	for _, spec := range Datasets() {
+		g, err := LoadDataset(spec, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		deg := g.AvgDegree()
+		if deg < spec.PaperDegree*0.7 || deg > spec.PaperDegree*1.3 {
+			t.Errorf("%s: degree %.1f, paper %.1f", spec.Name, deg, spec.PaperDegree)
+		}
+	}
+}
+
+func TestLoadDatasetCaches(t *testing.T) {
+	opt := testOpts()
+	spec, err := DatasetByName("gplus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadDataset(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadDataset(spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("LoadDataset did not cache")
+	}
+}
+
+func TestDatasetByNameUnknown(t *testing.T) {
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	opt := Options{Divisor: 256}
+	if got := opt.SimPartitionBytes(); got != 1024 {
+		t.Fatalf("SimPartitionBytes = %d, want 1024", got)
+	}
+	if got := opt.SimCacheBytes(); got != (25<<20)/256 {
+		t.Fatalf("SimCacheBytes = %d", got)
+	}
+	tiny := Options{Divisor: 1 << 20}
+	if got := tiny.SimPartitionBytes(); got != 256 {
+		t.Fatalf("floor SimPartitionBytes = %d, want 256", got)
+	}
+	if got := tiny.SimCacheBytes(); got != 16<<10 {
+		t.Fatalf("floor SimCacheBytes = %d, want 16K", got)
+	}
+}
+
+func TestTableRenderings(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Notes:  []string{"a note"},
+	}
+	tb.AddRow("1", "hello,world")
+	txt := tb.Render()
+	if !strings.Contains(txt, "demo") || !strings.Contains(txt, "a note") {
+		t.Fatalf("render missing pieces:\n%s", txt)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"hello,world"`) {
+		t.Fatalf("CSV did not quote comma cell:\n%s", csv)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") {
+		t.Fatalf("markdown header missing:\n%s", md)
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int]string{512: "512B", 1 << 10: "1K", 64 << 10: "64K", 1 << 20: "1M"}
+	for in, want := range cases {
+		if got := byteSize(in); got != want {
+			t.Errorf("byteSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("table5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("table99"); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}
+
+// parseCell reads a float out of a rendered cell ("12.34" or "12.34ms").
+func parseCell(t *testing.T, c string) float64 {
+	t.Helper()
+	c = strings.TrimSuffix(c, "ms")
+	v, err := strconv.ParseFloat(c, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", c, err)
+	}
+	return v
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment smoke test skipped in -short mode")
+	}
+	opt := testOpts()
+	for _, exp := range Registry() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tb, err := exp.Run(opt)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table", exp.ID)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s: row width %d != header %d", exp.ID, len(row), len(tb.Header))
+				}
+			}
+			if out := tb.Render(); len(out) == 0 {
+				t.Fatalf("%s: empty render", exp.ID)
+			}
+		})
+	}
+}
+
+func TestFig8ShapePCPMBeatsBVGAS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic shape test skipped in -short mode")
+	}
+	tb, err := Fig8(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, row := range tb.Rows {
+		pcpm := parseCell(t, row[3])
+		bvgas := parseCell(t, row[2])
+		if pcpm < bvgas {
+			wins++
+		}
+	}
+	if wins < 5 {
+		t.Fatalf("PCPM beat BVGAS traffic on only %d/%d datasets", wins, len(tb.Rows))
+	}
+}
+
+func TestFig11CompressionMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test skipped in -short mode")
+	}
+	tb, err := Fig11(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		prev := 0.0
+		for _, c := range row[1:] {
+			r := parseCell(t, c)
+			if r < prev-1e-9 {
+				t.Fatalf("%s: compression not monotone: %v", row[0], row)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestTable6GOrderImprovesCompression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GOrder test skipped in -short mode")
+	}
+	// Divisor 1024 keeps the window/partition geometry faithful (see
+	// TestFig1ValueShareDominates); GOrder has nothing to find at smaller
+	// scales where the clamped windows make every labeling near-optimal.
+	opt := testOpts()
+	opt.Divisor = 1024
+	tb, err := Table6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	var webOrig, webGord float64
+	for _, row := range tb.Rows {
+		orig := parseCell(t, row[3])
+		gord := parseCell(t, row[5])
+		if row[0] == "web" {
+			webOrig, webGord = orig, gord
+			continue
+		}
+		if gord > orig {
+			improved++
+		}
+	}
+	if improved < 4 {
+		t.Fatalf("GOrder improved r on only %d/5 non-web datasets", improved)
+	}
+	// web's crawl labels are already near optimal: GOrder should not move
+	// it much (paper: 8.4 -> 7.83).
+	if math.Abs(webGord-webOrig) > 0.5*webOrig {
+		t.Fatalf("web compression moved too much under GOrder: %.2f -> %.2f", webOrig, webGord)
+	}
+}
+
+func TestFig1ValueShareDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traffic test skipped in -short mode")
+	}
+	// Divisor 1024 is the smallest scale whose clamped partition geometry
+	// still matches the paper's (window/partition ratio preserved).
+	opt := testOpts()
+	opt.Divisor = 1024
+	tb, err := Fig1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dominant := 0
+	for _, row := range tb.Rows {
+		share := parseCell(t, row[3])
+		if share < 10 || share > 100 {
+			t.Fatalf("%s: vertex-value share %.1f%% implausible", row[0], share)
+		}
+		if share > 50 {
+			dominant++
+		}
+	}
+	// The paper's Fig. 1 shows 60–95% for most datasets; the high-locality
+	// web analog legitimately falls lower.
+	if dominant < 4 {
+		t.Fatalf("vertex values dominate on only %d/6 datasets", dominant)
+	}
+}
+
+func TestCompactExtensionReducesTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compact extension test skipped in -short mode")
+	}
+	tb, err := Compact(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		full := parseCell(t, row[1])
+		compact := parseCell(t, row[2])
+		if compact >= full {
+			t.Fatalf("%s: compact IDs did not reduce traffic (%v vs %v)", row[0], compact, full)
+		}
+		// The gather ID stream halves, so total traffic should drop by a
+		// visible but bounded margin.
+		ratio := compact / full
+		if ratio < 0.5 || ratio > 0.98 {
+			t.Fatalf("%s: traffic ratio %.2f implausible", row[0], ratio)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package memsim is a trace-driven memory-hierarchy simulator. It stands in
+// for the Intel Performance Counter Monitor measurements in the paper's
+// evaluation (§5.1): the replayers in this package issue the exact memory
+// access sequence each PageRank method performs, and a set-associative
+// write-back cache model in front of a DRAM row-buffer model counts the
+// resulting main-memory traffic, random accesses (row activations), and
+// energy.
+//
+// Communication volume is a property of the access pattern, not of the
+// silicon, so replaying the pattern through a faithful last-level-cache
+// model measures the same quantity PCM reports on real hardware (modulo
+// cold-start effects, which the harness removes with a warm-up iteration).
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Stream labels the logical array an access belongs to, for per-stream
+// traffic attribution (Fig. 1 needs the vertex-value share of PDPR
+// traffic).
+type Stream uint8
+
+const (
+	// StreamOffsets covers CSR/CSC/PNG offset arrays.
+	StreamOffsets Stream = iota
+	// StreamEdges covers adjacency and source-index arrays.
+	StreamEdges
+	// StreamValues covers the vertex value vector (scaled ranks in, new
+	// ranks out).
+	StreamValues
+	// StreamUpdates covers the update bins.
+	StreamUpdates
+	// StreamDestIDs covers the destination-ID bins.
+	StreamDestIDs
+	// StreamScratch covers cache-resident scratch (partial-sum buffers).
+	StreamScratch
+	// NumStreams is the number of distinct streams.
+	NumStreams
+)
+
+var streamNames = [NumStreams]string{
+	"offsets", "edges", "values", "updates", "destids", "scratch",
+}
+
+func (s Stream) String() string {
+	if int(s) < len(streamNames) {
+		return streamNames[s]
+	}
+	return fmt.Sprintf("Stream(%d)", int(s))
+}
+
+// Config describes the simulated last-level cache and DRAM geometry.
+type Config struct {
+	CacheBytes int // total LLC capacity
+	LineBytes  int // cache line size (the paper's l = 64)
+	Ways       int // set associativity
+	RowBytes   int // DRAM row-buffer size per bank
+	Banks      int // number of DRAM banks (power of two)
+}
+
+// DefaultConfig mirrors the paper's Xeon E5-2650 v2 LLC (25 MB shared,
+// 64 B lines) with a typical DDR3 row-buffer geometry. Experiments at
+// reduced dataset scale use a proportionally reduced CacheBytes so the
+// cache:data ratio matches the paper (see internal/harness).
+func DefaultConfig() Config {
+	return Config{
+		CacheBytes: 25 << 20,
+		LineBytes:  64,
+		Ways:       16,
+		RowBytes:   8 << 10,
+		Banks:      16,
+	}
+}
+
+func (c Config) validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("memsim: line size %d not a power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("memsim: ways %d invalid", c.Ways)
+	}
+	if c.CacheBytes < c.LineBytes*c.Ways {
+		return fmt.Errorf("memsim: cache %dB below one set (%dB)", c.CacheBytes, c.LineBytes*c.Ways)
+	}
+	if c.RowBytes <= 0 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("memsim: row size %d not a power of two", c.RowBytes)
+	}
+	if c.Banks <= 0 || c.Banks&(c.Banks-1) != 0 {
+		return fmt.Errorf("memsim: bank count %d not a power of two", c.Banks)
+	}
+	return nil
+}
+
+// Traffic is a snapshot of simulated DRAM and cache counters.
+type Traffic struct {
+	ReadBytes   uint64 // DRAM → LLC line fills
+	WriteBytes  uint64 // LLC → DRAM writebacks and streaming stores
+	Activations uint64 // DRAM row-buffer activations (random access proxy)
+	Hits        uint64
+	Misses      uint64
+
+	PerStreamReadBytes  [NumStreams]uint64
+	PerStreamWriteBytes [NumStreams]uint64
+}
+
+// TotalBytes returns read plus write traffic.
+func (t Traffic) TotalBytes() uint64 { return t.ReadBytes + t.WriteBytes }
+
+// MissRatio returns misses / (hits+misses), the paper's cmr when measured
+// on the vertex-value stream of PDPR.
+func (t Traffic) MissRatio() float64 {
+	total := t.Hits + t.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(total)
+}
+
+// Sub returns t - u counter-wise; used to isolate one iteration's traffic.
+func (t Traffic) Sub(u Traffic) Traffic {
+	out := Traffic{
+		ReadBytes:   t.ReadBytes - u.ReadBytes,
+		WriteBytes:  t.WriteBytes - u.WriteBytes,
+		Activations: t.Activations - u.Activations,
+		Hits:        t.Hits - u.Hits,
+		Misses:      t.Misses - u.Misses,
+	}
+	for s := 0; s < int(NumStreams); s++ {
+		out.PerStreamReadBytes[s] = t.PerStreamReadBytes[s] - u.PerStreamReadBytes[s]
+		out.PerStreamWriteBytes[s] = t.PerStreamWriteBytes[s] - u.PerStreamWriteBytes[s]
+	}
+	return out
+}
+
+// StreamBytes returns the read+write traffic attributed to one stream.
+func (t Traffic) StreamBytes(s Stream) uint64 {
+	return t.PerStreamReadBytes[s] + t.PerStreamWriteBytes[s]
+}
+
+// EnergyModel converts traffic into DRAM energy. The defaults are
+// order-of-magnitude DDR3 constants: ~25 pJ/bit for a line transfer and a
+// few nanojoules per row activation. Fig. 10 depends only on the ratios.
+type EnergyModel struct {
+	LineTransferNJ float64 // energy per 64-byte line moved
+	ActivationNJ   float64 // energy per row activation
+}
+
+// DefaultEnergyModel returns the constants used by the Fig. 10 bench.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{LineTransferNJ: 12.8, ActivationNJ: 2.5}
+}
+
+// EnergyNJ returns total DRAM energy for the traffic, in nanojoules.
+func (m EnergyModel) EnergyNJ(t Traffic, lineBytes int) float64 {
+	lines := float64(t.TotalBytes()) / float64(lineBytes)
+	return lines*m.LineTransferNJ + float64(t.Activations)*m.ActivationNJ
+}
+
+// Sim is a single-level (LLC) set-associative write-back, write-allocate
+// LRU cache in front of a DRAM row-buffer model. It is not safe for
+// concurrent use; replays are single-threaded (traffic volume is
+// thread-count independent).
+type Sim struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	ways      int
+
+	// tags[set*ways+way]; 0 means invalid, otherwise lineAddr+1.
+	tags  []uint64
+	dirty []bool
+	// streams[set*ways+way] records which stream owns the line, so dirty
+	// writebacks attribute to the stream that last wrote it.
+	streams []Stream
+
+	rowShift uint
+	bankMask uint64
+	openRow  []int64
+
+	traffic Traffic
+}
+
+// New creates a simulator. The cache starts cold.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.CacheBytes / (cfg.LineBytes * cfg.Ways)
+	if sets == 0 {
+		sets = 1
+	}
+	// Round sets down to a power of two for mask indexing.
+	sets = 1 << (bits.Len(uint(sets)) - 1)
+	s := &Sim{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		ways:      cfg.Ways,
+		tags:      make([]uint64, sets*cfg.Ways),
+		dirty:     make([]bool, sets*cfg.Ways),
+		streams:   make([]Stream, sets*cfg.Ways),
+		rowShift:  uint(bits.TrailingZeros(uint(cfg.RowBytes))),
+		bankMask:  uint64(cfg.Banks - 1),
+		openRow:   make([]int64, cfg.Banks),
+	}
+	for i := range s.openRow {
+		s.openRow[i] = -1
+	}
+	return s, nil
+}
+
+// Config returns the simulator's geometry.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Snapshot returns the current counters.
+func (s *Sim) Snapshot() Traffic { return s.traffic }
+
+// ResetStats zeroes the counters but keeps cache and row-buffer state, so a
+// warmed-up simulator can measure steady-state iterations.
+func (s *Sim) ResetStats() { s.traffic = Traffic{} }
+
+// dramTransfer accounts one line moving between LLC and DRAM.
+func (s *Sim) dramTransfer(lineAddr uint64, write bool, st Stream) {
+	lb := uint64(s.cfg.LineBytes)
+	if write {
+		s.traffic.WriteBytes += lb
+		s.traffic.PerStreamWriteBytes[st] += lb
+	} else {
+		s.traffic.ReadBytes += lb
+		s.traffic.PerStreamReadBytes[st] += lb
+	}
+	addr := lineAddr << s.lineShift
+	row := int64(addr >> s.rowShift)
+	bank := (addr >> s.rowShift) & s.bankMask
+	if s.openRow[bank] != row {
+		s.openRow[bank] = row
+		s.traffic.Activations++
+	}
+}
+
+// access touches one cache line.
+func (s *Sim) access(lineAddr uint64, write bool, st Stream) {
+	set := lineAddr & s.setMask
+	base := int(set) * s.ways
+	tag := lineAddr + 1
+	// Hit path: move to MRU (way order encodes recency, way 0 = MRU).
+	for w := 0; w < s.ways; w++ {
+		if s.tags[base+w] == tag {
+			s.traffic.Hits++
+			d := s.dirty[base+w]
+			owner := s.streams[base+w]
+			copy(s.tags[base+1:base+w+1], s.tags[base:base+w])
+			copy(s.dirty[base+1:base+w+1], s.dirty[base:base+w])
+			copy(s.streams[base+1:base+w+1], s.streams[base:base+w])
+			s.tags[base] = tag
+			if write {
+				s.dirty[base] = true
+				s.streams[base] = st
+			} else {
+				s.dirty[base] = d
+				s.streams[base] = owner
+			}
+			return
+		}
+	}
+	// Miss: evict LRU way, fetch the line.
+	s.traffic.Misses++
+	lw := base + s.ways - 1
+	if s.tags[lw] != 0 && s.dirty[lw] {
+		s.dramTransfer(s.tags[lw]-1, true, s.streams[lw])
+	}
+	s.dramTransfer(lineAddr, false, st)
+	copy(s.tags[base+1:base+s.ways], s.tags[base:base+s.ways-1])
+	copy(s.dirty[base+1:base+s.ways], s.dirty[base:base+s.ways-1])
+	copy(s.streams[base+1:base+s.ways], s.streams[base:base+s.ways-1])
+	s.tags[base] = tag
+	s.dirty[base] = write
+	s.streams[base] = st
+}
+
+// Read simulates a read of size bytes at addr through the cache.
+func (s *Sim) Read(addr uint64, size int, st Stream) {
+	first := addr >> s.lineShift
+	last := (addr + uint64(size) - 1) >> s.lineShift
+	for l := first; l <= last; l++ {
+		s.access(l, false, st)
+	}
+}
+
+// Write simulates a write of size bytes at addr through the cache
+// (write-allocate: a miss fetches the line first).
+func (s *Sim) Write(addr uint64, size int, st Stream) {
+	first := addr >> s.lineShift
+	last := (addr + uint64(size) - 1) >> s.lineShift
+	for l := first; l <= last; l++ {
+		s.access(l, true, st)
+	}
+}
+
+// WriteLineNT simulates a non-temporal (cache-bypassing, write-combined)
+// store of one full line, as the paper's BVGAS scatter issues with AVX
+// streaming stores and PCPM's bin writes achieve by construction. The line
+// goes straight to DRAM without a write-allocate fill, and any cached copy
+// is invalidated (as x86 NT stores do), so later reads correctly miss.
+func (s *Sim) WriteLineNT(addr uint64, st Stream) {
+	lineAddr := addr >> s.lineShift
+	set := lineAddr & s.setMask
+	base := int(set) * s.ways
+	tag := lineAddr + 1
+	for w := 0; w < s.ways; w++ {
+		if s.tags[base+w] == tag {
+			s.tags[base+w] = 0
+			s.dirty[base+w] = false
+			break
+		}
+	}
+	s.dramTransfer(lineAddr, true, st)
+}
+
+// FlushDirty writes back every dirty line and invalidates the cache,
+// attributing the writebacks to their owning streams. Used at iteration
+// boundaries only by tests that need exact byte accounting.
+func (s *Sim) FlushDirty() {
+	for i, tag := range s.tags {
+		if tag != 0 && s.dirty[i] {
+			s.dramTransfer(tag-1, true, s.streams[i])
+		}
+		s.tags[i] = 0
+		s.dirty[i] = false
+	}
+}
+
+// AddressSpace is a bump allocator handing out disjoint, line-aligned
+// virtual address ranges for the replayers' arrays.
+type AddressSpace struct {
+	next uint64
+	line uint64
+}
+
+// NewAddressSpace creates an allocator aligned to the given line size.
+func NewAddressSpace(lineBytes int) *AddressSpace {
+	return &AddressSpace{next: uint64(lineBytes), line: uint64(lineBytes)}
+}
+
+// Alloc reserves size bytes and returns the base address, line-aligned and
+// padded so arrays never share a line.
+func (a *AddressSpace) Alloc(size int64) uint64 {
+	base := a.next
+	sz := (uint64(size) + a.line - 1) / a.line * a.line
+	if sz == 0 {
+		sz = a.line
+	}
+	a.next = base + sz
+	return base
+}

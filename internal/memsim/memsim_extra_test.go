@@ -1,0 +1,127 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestTrafficSubIsolatesIteration(t *testing.T) {
+	s := testSim(t, 64<<10)
+	for i := 0; i < 100; i++ {
+		s.Read(uint64(i*64), 4, StreamEdges)
+	}
+	before := s.Snapshot()
+	for i := 0; i < 50; i++ {
+		s.Write(uint64(1<<20+i*64), 4, StreamUpdates)
+	}
+	delta := s.Snapshot().Sub(before)
+	if delta.PerStreamReadBytes[StreamEdges] != 0 {
+		t.Fatal("Sub did not cancel prior edge reads")
+	}
+	// 50 write misses → 50 write-allocate fills.
+	if delta.Misses != 50 {
+		t.Fatalf("delta misses = %d, want 50", delta.Misses)
+	}
+}
+
+func TestRowActivationCounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 64 * 16 // tiny cache so every line goes to DRAM
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential lines within one 8 KB row on the same bank: one activation.
+	for i := 0; i < 16; i++ {
+		s.WriteLineNT(uint64(i*64), StreamUpdates)
+	}
+	tr := s.Snapshot()
+	if tr.Activations != 1 {
+		t.Fatalf("sequential row activations = %d, want 1", tr.Activations)
+	}
+	// Jumping between two distinct rows mapping to the same bank flips the
+	// open row every access.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowBytes := uint64(cfg.RowBytes)
+	banks := uint64(cfg.Banks)
+	for i := 0; i < 10; i++ {
+		s2.WriteLineNT(0, StreamUpdates)              // row 0, bank 0
+		s2.WriteLineNT(rowBytes*banks, StreamUpdates) // row banks, bank 0
+	}
+	if got := s2.Snapshot().Activations; got != 20 {
+		t.Fatalf("ping-pong activations = %d, want 20", got)
+	}
+}
+
+func TestWritebackAttributesToWritingStream(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 64 * 16
+	cfg.Ways = 16
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single set with dirty StreamValues lines, then evict them
+	// with StreamEdges reads: the writebacks must be charged to values.
+	for i := 0; i < 16; i++ {
+		s.Write(uint64(i*64), 4, StreamValues)
+	}
+	s.ResetStats()
+	for i := 16; i < 32; i++ {
+		s.Read(uint64(i*64), 4, StreamEdges)
+	}
+	tr := s.Snapshot()
+	if tr.PerStreamWriteBytes[StreamValues] != 16*64 {
+		t.Fatalf("values writebacks = %d, want %d", tr.PerStreamWriteBytes[StreamValues], 16*64)
+	}
+	if tr.PerStreamWriteBytes[StreamEdges] != 0 {
+		t.Fatal("edge reads charged with writebacks")
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	tr := Traffic{Hits: 75, Misses: 25}
+	if got := tr.MissRatio(); got != 0.25 {
+		t.Fatalf("MissRatio = %v, want 0.25", got)
+	}
+	if (Traffic{}).MissRatio() != 0 {
+		t.Fatal("empty traffic should have zero miss ratio")
+	}
+}
+
+func TestMultiLineAccessTouchesBothLines(t *testing.T) {
+	s := testSim(t, 64<<10)
+	// An 8-byte read straddling a line boundary touches two lines.
+	s.Read(60, 8, StreamEdges)
+	if got := s.Snapshot().Misses; got != 2 {
+		t.Fatalf("straddling read missed %d lines, want 2", got)
+	}
+}
+
+func TestBVGASReplayNTWritesMatchEdgeCount(t *testing.T) {
+	g := replayGraph(t)
+	layout, err := newLayoutForTest(g.NumNodes(), 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := testSim(t, 64<<10)
+	r := NewBVGASReplay(g, layout, sim)
+	r.Iterate()
+	tr := sim.Snapshot()
+	// Streaming stores write one line per 16 updates (64B / 4B), so update
+	// write traffic ≈ m/16 lines = m*4 bytes (full line utilization).
+	want := uint64(g.NumEdges()) * 4
+	got := tr.PerStreamWriteBytes[StreamUpdates]
+	if got < want*9/10 || got > want*11/10 {
+		t.Fatalf("update write bytes = %d, want ≈ %d", got, want)
+	}
+}
+
+// newLayoutForTest wraps partition.FromBytes for the replay tests.
+func newLayoutForTest(n, bytes int) (partition.Layout, error) {
+	return partition.FromBytes(n, bytes)
+}

@@ -1,0 +1,361 @@
+package memsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/png"
+)
+
+func testSim(t testing.TB, cacheBytes int) *Sim {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CacheBytes = cacheBytes
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{CacheBytes: 1024, LineBytes: 60, Ways: 4, RowBytes: 8192, Banks: 16},
+		{CacheBytes: 1024, LineBytes: 64, Ways: 0, RowBytes: 8192, Banks: 16},
+		{CacheBytes: 64, LineBytes: 64, Ways: 4, RowBytes: 8192, Banks: 16},
+		{CacheBytes: 4096, LineBytes: 64, Ways: 4, RowBytes: 1000, Banks: 16},
+		{CacheBytes: 4096, LineBytes: 64, Ways: 4, RowBytes: 8192, Banks: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestSequentialReadsMissOncePerLine(t *testing.T) {
+	s := testSim(t, 1<<20)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		s.Read(uint64(i*4), 4, StreamEdges)
+	}
+	tr := s.Snapshot()
+	wantMisses := uint64(n * 4 / 64)
+	if tr.Misses != wantMisses {
+		t.Fatalf("misses = %d, want %d", tr.Misses, wantMisses)
+	}
+	if tr.Hits != n-wantMisses {
+		t.Fatalf("hits = %d, want %d", tr.Hits, n-wantMisses)
+	}
+	if tr.ReadBytes != wantMisses*64 {
+		t.Fatalf("read bytes = %d, want %d", tr.ReadBytes, wantMisses*64)
+	}
+	if tr.WriteBytes != 0 {
+		t.Fatalf("write bytes = %d, want 0", tr.WriteBytes)
+	}
+}
+
+func TestCacheResidentWorkingSetHitsAfterWarmup(t *testing.T) {
+	s := testSim(t, 1<<20)
+	const n = 1 << 16 // 64 KB working set inside a 1 MB cache
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			s.ResetStats()
+		}
+		for i := 0; i < n; i += 4 {
+			s.Read(uint64(i), 4, StreamValues)
+		}
+	}
+	tr := s.Snapshot()
+	if tr.Misses != 0 {
+		t.Fatalf("warm pass had %d misses", tr.Misses)
+	}
+}
+
+func TestRandomReadsMissMoreThanSequential(t *testing.T) {
+	seqSim := testSim(t, 256<<10)
+	rndSim := testSim(t, 256<<10)
+	const n = 1 << 20 // 4 MB region, 16x the cache
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < n/4; i++ {
+		seqSim.Read(uint64(i*4), 4, StreamValues)
+		rndSim.Read(uint64(rng.IntN(n)), 4, StreamValues)
+	}
+	seq, rnd := seqSim.Snapshot(), rndSim.Snapshot()
+	if rnd.Misses < 4*seq.Misses {
+		t.Fatalf("random misses %d not ≫ sequential misses %d", rnd.Misses, seq.Misses)
+	}
+	if rnd.Activations < 4*seq.Activations {
+		t.Fatalf("random activations %d not ≫ sequential %d", rnd.Activations, seq.Activations)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 64 * 16 // exactly one set's worth: 16 ways
+	cfg.Ways = 16
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 17 distinct lines mapping to the single set: the 17th evicts a
+	// dirty line.
+	for i := 0; i < 17; i++ {
+		s.Write(uint64(i*64), 4, StreamValues)
+	}
+	tr := s.Snapshot()
+	if tr.WriteBytes != 64 {
+		t.Fatalf("writeback bytes = %d, want 64", tr.WriteBytes)
+	}
+	// All 17 fills were read line transfers (write-allocate).
+	if tr.ReadBytes != 17*64 {
+		t.Fatalf("read bytes = %d, want %d", tr.ReadBytes, 17*64)
+	}
+}
+
+func TestFlushDirtyAccountsWrites(t *testing.T) {
+	s := testSim(t, 1<<20)
+	for i := 0; i < 32; i++ {
+		s.Write(uint64(i*64), 4, StreamUpdates)
+	}
+	s.FlushDirty()
+	tr := s.Snapshot()
+	if tr.WriteBytes != 32*64 {
+		t.Fatalf("flush wrote %d bytes, want %d", tr.WriteBytes, 32*64)
+	}
+	if tr.PerStreamWriteBytes[StreamUpdates] != 32*64 {
+		t.Fatalf("stream attribution lost on flush")
+	}
+}
+
+func TestWriteLineNTBypassesAndInvalidates(t *testing.T) {
+	s := testSim(t, 1<<20)
+	// Prime the line into cache.
+	s.Read(0, 4, StreamUpdates)
+	s.ResetStats()
+	s.WriteLineNT(0, StreamUpdates)
+	tr := s.Snapshot()
+	if tr.WriteBytes != 64 || tr.ReadBytes != 0 {
+		t.Fatalf("NT store traffic = %d read / %d write", tr.ReadBytes, tr.WriteBytes)
+	}
+	// The cached copy must be gone: the next read misses.
+	s.ResetStats()
+	s.Read(0, 4, StreamUpdates)
+	if s.Snapshot().Misses != 1 {
+		t.Fatal("NT store did not invalidate the cached line")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 64 * 4
+	cfg.Ways = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill 4 ways, touch line 0 again (making line 1 LRU), then insert a
+	// 5th line: line 1 must be the victim, so re-reading line 0 still hits.
+	for i := 0; i < 4; i++ {
+		s.Read(uint64(i*64), 4, StreamValues)
+	}
+	s.Read(0, 4, StreamValues)
+	s.Read(4*64, 4, StreamValues)
+	s.ResetStats()
+	s.Read(0, 4, StreamValues)
+	if s.Snapshot().Misses != 0 {
+		t.Fatal("LRU evicted the most recently used line")
+	}
+	s.Read(1*64, 4, StreamValues)
+	if s.Snapshot().Misses != 1 {
+		t.Fatal("LRU kept the least recently used line")
+	}
+}
+
+func TestPropertyHitsPlusMissesEqualsAccesses(t *testing.T) {
+	f := func(seed uint64, ops uint16) bool {
+		s := testSim(t, 32<<10)
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := int(ops)%5000 + 1
+		for i := 0; i < n; i++ {
+			addr := uint64(rng.IntN(1 << 18))
+			if rng.IntN(2) == 0 {
+				s.Read(addr, 4, StreamValues)
+			} else {
+				s.Write(addr, 4, StreamValues)
+			}
+		}
+		tr := s.Snapshot()
+		// Each 4-byte access touches 1 or 2 lines.
+		return tr.Hits+tr.Misses >= uint64(n) && tr.Hits+tr.Misses <= 2*uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceDisjoint(t *testing.T) {
+	as := NewAddressSpace(64)
+	a := as.Alloc(100)
+	b := as.Alloc(1)
+	c := as.Alloc(0)
+	if a%64 != 0 || b%64 != 0 || c%64 != 0 {
+		t.Fatal("allocations not line aligned")
+	}
+	if b < a+128 { // 100 rounds up to 128
+		t.Fatalf("regions overlap: a=%d b=%d", a, b)
+	}
+	if c <= b {
+		t.Fatal("zero-size allocation did not advance")
+	}
+}
+
+func TestEnergyModel(t *testing.T) {
+	m := DefaultEnergyModel()
+	tr := Traffic{ReadBytes: 640, WriteBytes: 640, Activations: 10}
+	e := m.EnergyNJ(tr, 64)
+	want := 20*m.LineTransferNJ + 10*m.ActivationNJ
+	if e != want {
+		t.Fatalf("energy = %v, want %v", e, want)
+	}
+}
+
+// replayGraph builds a moderate RMAT graph whose vertex data greatly
+// exceeds the simulated cache, as in the paper's setup.
+func replayGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.Graph500RMAT(13, 12, 42), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// paperPDPRBounds returns the model's communication bounds for PDPR
+// (eq. 3 with cmr ∈ [cold, 1]).
+func TestPDPRReplayWithinModelBounds(t *testing.T) {
+	g := replayGraph(t)
+	sim := testSim(t, 4<<10) // tiny cache: cmr near worst case
+	r := NewPDPRReplay(g, sim)
+	tr := MeasureSteadyState(r, sim)
+
+	n, m := float64(g.NumNodes()), float64(g.NumEdges())
+	lower := m * elem // m*di: offsets+values fully cached would still read edges
+	upper := m*(elem+64) + n*(elem+2*64)
+	got := float64(tr.TotalBytes())
+	if got < lower || got > upper {
+		t.Fatalf("PDPR traffic %.0f outside model bounds [%.0f, %.0f]", got, lower, upper)
+	}
+	// With a tiny cache, the vertex-value stream must dominate (Fig. 1
+	// shows 60–95%+ on real datasets).
+	share := float64(tr.StreamBytes(StreamValues)) / got
+	if share < 0.5 {
+		t.Fatalf("vertex-value share = %.2f, want > 0.5 with tiny cache", share)
+	}
+}
+
+func TestPDPRTrafficDropsWithBigCache(t *testing.T) {
+	g := replayGraph(t)
+	small := testSim(t, 4<<10)
+	big := testSim(t, 8<<20) // whole graph fits
+	trS := MeasureSteadyState(NewPDPRReplay(g, small), small)
+	trB := MeasureSteadyState(NewPDPRReplay(g, big), big)
+	if trB.TotalBytes() >= trS.TotalBytes() {
+		t.Fatalf("bigger cache did not reduce traffic: %d vs %d", trB.TotalBytes(), trS.TotalBytes())
+	}
+}
+
+func TestBVGASReplayMatchesModelShape(t *testing.T) {
+	g := replayGraph(t)
+	layout, err := partition.FromBytes(g.NumNodes(), 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := testSim(t, 64<<10)
+	r := NewBVGASReplay(g, layout, sim)
+	tr := MeasureSteadyState(r, sim)
+
+	n, m := float64(g.NumNodes()), float64(g.NumEdges())
+	// eq. 4: BVGAS = 2m(di+dv) + n(di+2dv); allow ±40% for cache effects
+	// (partial-sum fetch/evict, apply pass).
+	model := 2*m*(elem+elem) + n*(elem+2*elem)
+	got := float64(tr.TotalBytes())
+	if got < 0.6*model || got > 1.6*model {
+		t.Fatalf("BVGAS traffic %.0f vs model %.0f (ratio %.2f)", got, model, got/model)
+	}
+}
+
+func TestPCPMReplayBeatsBVGASTraffic(t *testing.T) {
+	g := replayGraph(t)
+	layout, err := partition.FromBytes(g.NumNodes(), 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := png.Build(g, layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB := testSim(t, 64<<10)
+	trB := MeasureSteadyState(NewBVGASReplay(g, layout, simB), simB)
+	simP := testSim(t, 64<<10)
+	trP := MeasureSteadyState(NewPCPMReplay(g, pn, simP), simP)
+
+	if trP.TotalBytes() >= trB.TotalBytes() {
+		t.Fatalf("PCPM traffic %d not below BVGAS %d (r=%.2f)",
+			trP.TotalBytes(), trB.TotalBytes(), pn.CompressionRatio(g))
+	}
+	// Random accesses: PCPM's activations should be far below BVGAS's
+	// (the paper's §4.1: O(k²) vs O(m dv/l)).
+	if trP.Activations >= trB.Activations {
+		t.Fatalf("PCPM activations %d not below BVGAS %d", trP.Activations, trB.Activations)
+	}
+}
+
+func TestPCPMReplayMatchesModel(t *testing.T) {
+	g := replayGraph(t)
+	layout, err := partition.FromBytes(g.NumNodes(), 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn, err := png.Build(g, layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := testSim(t, 64<<10)
+	tr := MeasureSteadyState(NewPCPMReplay(g, pn, sim), sim)
+
+	n, m := float64(g.NumNodes()), float64(g.NumEdges())
+	k := float64(pn.K)
+	rr := pn.CompressionRatio(g)
+	// eq. 5: PCPM = m(di(1+1/r) + 2dv/r) + k²di + 2n dv.
+	model := m*(elem*(1+1/rr)+2*elem/rr) + k*k*elem + 2*n*elem
+	got := float64(tr.TotalBytes())
+	if got < 0.6*model || got > 1.6*model {
+		t.Fatalf("PCPM traffic %.0f vs model %.0f (ratio %.2f)", got, model, got/model)
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	g := replayGraph(t)
+	run := func() Traffic {
+		sim := testSim(t, 64<<10)
+		return MeasureSteadyState(NewPDPRReplay(g, sim), sim)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatal("replay is not deterministic")
+	}
+}
+
+func TestStreamString(t *testing.T) {
+	if StreamValues.String() != "values" {
+		t.Fatal("stream name wrong")
+	}
+	if Stream(99).String() == "" {
+		t.Fatal("unknown stream should still render")
+	}
+}

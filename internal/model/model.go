@@ -1,0 +1,140 @@
+// Package model implements the paper's analytical performance models (§4):
+// closed-form DRAM communication volumes for PDPR, BVGAS and PCPM
+// (eqs. 3–5), the cache-miss-ratio crossover thresholds (eqs. 6–7), and the
+// random-access counts (eqs. 8–10). Parameter names follow Table 2.
+package model
+
+// Params are the model inputs of Table 2.
+type Params struct {
+	N   float64 // n: number of vertices
+	M   float64 // m: number of edges
+	K   float64 // k: number of partitions (PCPM)
+	R   float64 // r: PNG compression ratio |E|/|E'|
+	CMR float64 // cache miss ratio for source value reads in PDPR
+	DV  float64 // sizeof a PageRank value (paper: 4)
+	DI  float64 // sizeof a node/edge index (paper: 4)
+	L   float64 // cache line size (paper: 64)
+}
+
+// PaperDefaults fills dv, di and l with the paper's constants.
+func (p Params) PaperDefaults() Params {
+	if p.DV == 0 {
+		p.DV = 4
+	}
+	if p.DI == 0 {
+		p.DI = 4
+	}
+	if p.L == 0 {
+		p.L = 64
+	}
+	return p
+}
+
+// KronScale25 returns the parameters the paper uses to illustrate the model
+// (Fig. 6): the scale-25 Kronecker graph with n = 33.5 M, m = 1070 M,
+// k = 512.
+func KronScale25() Params {
+	return Params{N: 33.5e6, M: 1070e6, K: 512, R: 3.13}.PaperDefaults()
+}
+
+// PDPRComm is eq. 3: m(di + cmr·l) + n(di + dv) bytes per iteration.
+func PDPRComm(p Params) float64 {
+	p = p.PaperDefaults()
+	return p.M*(p.DI+p.CMR*p.L) + p.N*(p.DI+p.DV)
+}
+
+// BVGASComm is eq. 4: 2m(di + dv) + n(di + 2dv) bytes per iteration.
+// It is independent of graph locality — the property that makes BVGAS
+// unable to exploit optimized node labelings (Table 7).
+func BVGASComm(p Params) float64 {
+	p = p.PaperDefaults()
+	return 2*p.M*(p.DI+p.DV) + p.N*(p.DI+2*p.DV)
+}
+
+// PCPMComm is eq. 5: m(di(1 + 1/r) + 2dv/r) + k²di + 2n·dv bytes per
+// iteration. It decreases monotonically in the compression ratio r.
+func PCPMComm(p Params) float64 {
+	p = p.PaperDefaults()
+	if p.R <= 0 {
+		p.R = 1
+	}
+	return p.M*(p.DI*(1+1/p.R)+2*p.DV/p.R) + p.K*p.K*p.DI + 2*p.N*p.DV
+}
+
+// PDPRRandomAccesses is eq. 8: O(m·cmr) random DRAM accesses.
+func PDPRRandomAccesses(p Params) float64 {
+	p = p.PaperDefaults()
+	return p.M * p.CMR
+}
+
+// BVGASRandomAccesses is eq. 9: O(m·dv/l) random DRAM accesses, assuming
+// full cache-line utilization of the streaming stores.
+func BVGASRandomAccesses(p Params) float64 {
+	p = p.PaperDefaults()
+	return p.M * p.DV / p.L
+}
+
+// PCPMRandomAccesses is eq. 10: O(k²) random DRAM accesses — at most one
+// bin switch per (source partition, destination partition) pair.
+func PCPMRandomAccesses(p Params) float64 {
+	p = p.PaperDefaults()
+	return p.K * p.K
+}
+
+// BVGASThreshold is eq. 6: BVGAS beats PDPR when cmr > (di + 2dv)/l.
+// With the paper's constants this is 12/64 = 0.1875, a fixed bar.
+func BVGASThreshold(p Params) float64 {
+	p = p.PaperDefaults()
+	return (p.DI + 2*p.DV) / p.L
+}
+
+// PCPMThreshold is eq. 7: PCPM beats PDPR when cmr > (di + 2dv)/(r·l) — a
+// bar that drops as locality (and therefore r) rises, which is why PCPM
+// remains profitable on high-locality graphs where BVGAS is not.
+func PCPMThreshold(p Params) float64 {
+	p = p.PaperDefaults()
+	r := p.R
+	if r <= 0 {
+		r = 1
+	}
+	return (p.DI + 2*p.DV) / (r * p.L)
+}
+
+// ColdCMR returns the best-case miss ratio for PDPR source reads: only
+// compulsory misses to load the value vector, cmr = n·dv / (m·l).
+func ColdCMR(p Params) float64 {
+	p = p.PaperDefaults()
+	if p.M == 0 {
+		return 0
+	}
+	return p.N * p.DV / (p.M * p.L)
+}
+
+// SweepPoint is one (r, predicted GB) sample of the Fig. 6 curve.
+type SweepPoint struct {
+	R       float64
+	CommGB  float64
+	Optimal bool // true at r = m/n, the compression optimum
+}
+
+// Fig6Sweep evaluates PCPMComm over a range of compression ratios,
+// reproducing Fig. 6's predicted-traffic curve. Samples run from r=1 to
+// rMax inclusive in the given step.
+func Fig6Sweep(p Params, rMax, step float64) []SweepPoint {
+	p = p.PaperDefaults()
+	if step <= 0 {
+		step = 1
+	}
+	var out []SweepPoint
+	optimal := p.M / p.N
+	for r := 1.0; r <= rMax+1e-9; r += step {
+		q := p
+		q.R = r
+		out = append(out, SweepPoint{
+			R:       r,
+			CommGB:  PCPMComm(q) / 1e9,
+			Optimal: r >= optimal,
+		})
+	}
+	return out
+}

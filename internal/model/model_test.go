@@ -1,0 +1,185 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperKronNumbers(t *testing.T) {
+	// Fig. 6 for the kron graph: at the original labeling r = 3.13, the
+	// predicted traffic is roughly 10 GB (read off the curve), and the
+	// curve spans about [6, 24] GB over r ∈ [1, 32].
+	p := KronScale25()
+	atR1 := PCPMComm(Params{N: p.N, M: p.M, K: p.K, R: 1}.PaperDefaults()) / 1e9
+	if atR1 < 15 || atR1 > 25 {
+		t.Fatalf("PCPM comm at r=1 = %.1f GB, want ≈ 17–25 GB", atR1)
+	}
+	atOrig := PCPMComm(p) / 1e9
+	if atOrig < 7 || atOrig > 13 {
+		t.Fatalf("PCPM comm at r=3.13 = %.1f GB, want ≈ 7–13 GB", atOrig)
+	}
+	atBest := PCPMComm(Params{N: p.N, M: p.M, K: p.K, R: p.M / p.N}.PaperDefaults()) / 1e9
+	if atBest >= atOrig {
+		t.Fatalf("optimal r should minimize traffic: %.1f !< %.1f", atBest, atOrig)
+	}
+}
+
+func TestWorstCasePCPMEqualsBVGASBound(t *testing.T) {
+	// §4: "In the worst case when r = 1, PCPM is still as good as BVGAS":
+	// PCPMcomm(r=1) = m(2di + 2dv) + k²di + 2n·dv ≤ BVGAScomm + k²di when
+	// n·di ≥ 0. Check the dominant m-terms match.
+	p := Params{N: 1e6, M: 3e7, K: 64, R: 1}.PaperDefaults()
+	pcpm := PCPMComm(p)
+	bvgas := BVGASComm(p)
+	mTermPCPM := p.M * (2*p.DI + 2*p.DV)
+	mTermBVGAS := 2 * p.M * (p.DI + p.DV)
+	if mTermPCPM != mTermBVGAS {
+		t.Fatalf("m-terms differ: %v vs %v", mTermPCPM, mTermBVGAS)
+	}
+	// And the full expressions stay within each other's small-term slack.
+	if math.Abs(pcpm-bvgas) > p.K*p.K*p.DI+p.N*(p.DI+2*p.DV) {
+		t.Fatalf("r=1 PCPM %v too far from BVGAS %v", pcpm, bvgas)
+	}
+}
+
+func TestThresholds(t *testing.T) {
+	p := Params{}.PaperDefaults()
+	if got := BVGASThreshold(p); math.Abs(got-12.0/64) > 1e-12 {
+		t.Fatalf("BVGAS threshold = %v, want 0.1875", got)
+	}
+	p.R = 4
+	if got := PCPMThreshold(p); math.Abs(got-12.0/(4*64)) > 1e-12 {
+		t.Fatalf("PCPM threshold = %v", got)
+	}
+	// PCPM's bar is 1/r of BVGAS's (eq. 7 vs eq. 6).
+	if PCPMThreshold(p) >= BVGASThreshold(p) {
+		t.Fatal("PCPM threshold should be below BVGAS's for r > 1")
+	}
+}
+
+func TestRandomAccessOrdering(t *testing.T) {
+	// §4.1's kron example: BVGASra ≈ 66.9 M, PCPMra ≈ 0.26 M.
+	p := KronScale25()
+	bv := BVGASRandomAccesses(p)
+	pc := PCPMRandomAccesses(p)
+	if math.Abs(bv-66.9e6) > 1e6 {
+		t.Fatalf("BVGAS random accesses = %.3g, want ≈ 66.9 M", bv)
+	}
+	if math.Abs(pc-0.262e6) > 0.01e6 {
+		t.Fatalf("PCPM random accesses = %.3g, want ≈ 0.26 M", pc)
+	}
+	p.CMR = 0.5
+	if pd := PDPRRandomAccesses(p); pd <= bv {
+		t.Fatalf("PDPR random accesses %.3g should exceed BVGAS %.3g at cmr=0.5", pd, bv)
+	}
+}
+
+func TestPropertyPCPMCommMonotoneInR(t *testing.T) {
+	f := func(nRaw, mRaw uint32, r1Raw, r2Raw uint8) bool {
+		n := float64(nRaw%1000000 + 1000)
+		m := n * float64(mRaw%30+2)
+		r1 := 1 + float64(r1Raw%30)
+		r2 := r1 + 1 + float64(r2Raw%10)
+		base := Params{N: n, M: m, K: 64}.PaperDefaults()
+		a, b := base, base
+		a.R, b.R = r1, r2
+		return PCPMComm(b) < PCPMComm(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPCPMBeatsBVGASForAnyR(t *testing.T) {
+	// For r ≥ 1 and k² ≪ n the model has PCPMcomm ≤ BVGAScomm + slack.
+	f := func(nRaw, mRaw uint32, rRaw uint8) bool {
+		n := float64(nRaw%1000000 + 10000)
+		m := n * float64(mRaw%30+2)
+		r := 1 + float64(rRaw%30)
+		p := Params{N: n, M: m, K: 64, R: r}.PaperDefaults()
+		return PCPMComm(p) <= BVGASComm(p)+p.K*p.K*p.DI
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColdCMR(t *testing.T) {
+	p := Params{N: 1000, M: 16000}.PaperDefaults()
+	want := 1000.0 * 4 / (16000 * 64)
+	if got := ColdCMR(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ColdCMR = %v, want %v", got, want)
+	}
+	// PDPR comm at cold cmr must not undercut m·di (the §4 lower bound).
+	p.CMR = ColdCMR(p)
+	if PDPRComm(p) < p.M*p.DI {
+		t.Fatal("PDPR comm fell below its lower bound")
+	}
+}
+
+func TestFig6Sweep(t *testing.T) {
+	pts := Fig6Sweep(KronScale25(), 32, 1)
+	if len(pts) != 32 {
+		t.Fatalf("sweep has %d points, want 32", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CommGB >= pts[i-1].CommGB {
+			t.Fatalf("Fig. 6 curve not decreasing at r=%v", pts[i].R)
+		}
+	}
+	// The paper's observation: traffic drops fast until r≈5, slowly after.
+	dropEarly := pts[0].CommGB - pts[4].CommGB
+	dropLate := pts[9].CommGB - pts[len(pts)-1].CommGB
+	if dropEarly < dropLate {
+		t.Fatalf("early drop %.2f should exceed late drop %.2f", dropEarly, dropLate)
+	}
+}
+
+func TestFig6SweepDegenerateStep(t *testing.T) {
+	pts := Fig6Sweep(KronScale25(), 3, 0)
+	if len(pts) != 3 {
+		t.Fatalf("zero step should default to 1; got %d points", len(pts))
+	}
+}
+
+func TestPropertyPDPRCommMonotoneInCMR(t *testing.T) {
+	f := func(nRaw, mRaw uint32, c1Raw, c2Raw uint8) bool {
+		n := float64(nRaw%1000000 + 1000)
+		m := n * float64(mRaw%30+2)
+		c1 := float64(c1Raw) / 512
+		c2 := c1 + float64(c2Raw+1)/512
+		if c2 > 1 {
+			c2 = 1
+		}
+		a := Params{N: n, M: m, CMR: c1}.PaperDefaults()
+		b := Params{N: n, M: m, CMR: c2}.PaperDefaults()
+		return PDPRComm(b) >= PDPRComm(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBVGASCommIndependentOfLocality(t *testing.T) {
+	// The model's core observation (Table 7): BVGAS traffic does not depend
+	// on cmr or r at all.
+	a := Params{N: 1e6, M: 2e7, R: 1, CMR: 0.01}.PaperDefaults()
+	b := Params{N: 1e6, M: 2e7, R: 30, CMR: 0.99}.PaperDefaults()
+	if BVGASComm(a) != BVGASComm(b) {
+		t.Fatal("BVGAS model should ignore locality parameters")
+	}
+}
+
+func TestThresholdCrossoverConsistency(t *testing.T) {
+	// At exactly cmr = threshold, PDPR and BVGAS models must agree on the
+	// m-dominant terms (eq. 6 is derived by equating eqs. 3 and 4 and
+	// dropping the n-terms). Verify the derivation numerically.
+	p := Params{N: 1, M: 1e9}.PaperDefaults() // n negligible
+	p.CMR = BVGASThreshold(p)
+	pd := PDPRComm(p)
+	bv := BVGASComm(p)
+	if math.Abs(pd-bv)/bv > 1e-6 {
+		t.Fatalf("models disagree at the crossover: PDPR %v vs BVGAS %v", pd, bv)
+	}
+}

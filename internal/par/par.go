@@ -1,0 +1,177 @@
+// Package par provides the two tiny parallel-scheduling primitives the
+// engines need: a static range splitter and a dynamic (work-stealing-ish)
+// parallel for built on an atomic cursor.
+//
+// The paper parallelizes PDPR statically (edge-balanced vertex ranges) and
+// PCPM/BVGAS phases dynamically (OpenMP dynamic scheduling over
+// partitions/bins); these helpers mirror that split.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values < 1 become GOMAXPROCS.
+func Workers(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForDynamic runs fn(i) for i in [0, n) across the given number of workers,
+// handing out indices one at a time from a shared atomic cursor. This is
+// the analog of OpenMP `schedule(dynamic)` used for PCPM partitions and
+// BVGAS bins, where per-index work is highly skewed.
+func ForDynamic(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForDynamicWorker is ForDynamic with the worker index passed to fn, so
+// callers can hand each worker preallocated scratch space (the cached
+// partial-sum buffers of the PCPM/BVGAS gather phases).
+func ForDynamicWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(w, int(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForStatic runs fn(lo, hi) over a static split of [0, n) into one
+// contiguous range per worker. Used when per-index cost is uniform.
+func ForStatic(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
+// BalancedRanges splits items 0..n-1 into one contiguous range per worker
+// such that each range carries roughly equal total cost, where cost[i] is
+// the (non-negative) cost of item i. This reproduces the paper's "static
+// load balancing on the number of edges traversed" for PDPR and the BVGAS
+// scatter. The returned slice has workers+1 boundaries.
+func BalancedRanges(cost []int64, workers int) []int {
+	n := len(cost)
+	workers = Workers(workers)
+	if workers > n && n > 0 {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := make([]int, workers+1)
+	var total int64
+	for _, c := range cost {
+		total += c
+	}
+	target := total / int64(workers)
+	b, acc := 1, int64(0)
+	for i := 0; i < n && b < workers; i++ {
+		acc += cost[i]
+		if acc >= target {
+			bounds[b] = i + 1
+			b++
+			acc = 0
+		}
+	}
+	for ; b <= workers; b++ {
+		bounds[b] = n
+	}
+	return bounds
+}
+
+// ForRanges runs fn(w, bounds[w], bounds[w+1]) concurrently for each of the
+// len(bounds)-1 precomputed ranges.
+func ForRanges(bounds []int, fn func(worker, lo, hi int)) {
+	workers := len(bounds) - 1
+	if workers <= 0 {
+		return
+	}
+	if workers == 1 {
+		fn(0, bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w, bounds[w], bounds[w+1])
+		}(w)
+	}
+	wg.Wait()
+}

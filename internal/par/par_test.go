@@ -1,0 +1,106 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForDynamicCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		n := 1000
+		seen := make([]atomic.Bool, n)
+		ForDynamic(n, workers, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("index %d visited twice", i)
+			}
+		})
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestForDynamicEmpty(t *testing.T) {
+	called := false
+	ForDynamic(0, 4, func(int) { called = true })
+	ForDynamic(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("ForDynamic called fn for empty range")
+	}
+}
+
+func TestForStaticCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		n := 777
+		var total atomic.Int64
+		ForStatic(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				total.Add(int64(i))
+			}
+		})
+		want := int64(n) * int64(n-1) / 2
+		if total.Load() != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, total.Load(), want)
+		}
+	}
+}
+
+func TestBalancedRangesProperties(t *testing.T) {
+	f := func(costs []uint16, workersRaw uint8) bool {
+		workers := int(workersRaw)%8 + 1
+		cost := make([]int64, len(costs))
+		for i, c := range costs {
+			cost[i] = int64(c)
+		}
+		bounds := BalancedRanges(cost, workers)
+		// Bounds must be monotone, start at 0, end at len(cost).
+		if bounds[0] != 0 || bounds[len(bounds)-1] != len(cost) {
+			return false
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancedRangesRoughlyBalances(t *testing.T) {
+	cost := make([]int64, 1000)
+	for i := range cost {
+		cost[i] = 1
+	}
+	bounds := BalancedRanges(cost, 4)
+	for w := 0; w < 4; w++ {
+		size := bounds[w+1] - bounds[w]
+		if size < 200 || size > 300 {
+			t.Fatalf("worker %d got %d items, want ~250", w, size)
+		}
+	}
+}
+
+func TestForRanges(t *testing.T) {
+	var total atomic.Int64
+	ForRanges([]int{0, 10, 10, 25}, func(w, lo, hi int) {
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != 25 {
+		t.Fatalf("total = %d, want 25", total.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5) != 5")
+	}
+	if Workers(0) < 1 || Workers(-2) < 1 {
+		t.Fatal("Workers should default to at least 1")
+	}
+}

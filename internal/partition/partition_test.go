@@ -1,0 +1,111 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestNewLayoutBasics(t *testing.T) {
+	l, err := NewLayout(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K() != 3 {
+		t.Fatalf("K = %d, want 3", l.K())
+	}
+	if l.Size() != 4 || l.SizeBytes() != 16 {
+		t.Fatalf("Size = %d / %d bytes", l.Size(), l.SizeBytes())
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := l.Bounds(2)
+	if lo != 8 || hi != 9 {
+		t.Fatalf("Bounds(2) = [%d,%d), want [8,9)", lo, hi)
+	}
+	if l.Len(2) != 1 {
+		t.Fatalf("Len(2) = %d, want 1", l.Len(2))
+	}
+	if p := l.PartitionOf(7); p != 1 {
+		t.Fatalf("PartitionOf(7) = %d, want 1", p)
+	}
+}
+
+func TestNewLayoutRejectsNonPowerOfTwo(t *testing.T) {
+	for _, size := range []int{0, -1, 3, 6, 100} {
+		if _, err := NewLayout(10, size); err == nil {
+			t.Errorf("NewLayout accepted size %d", size)
+		}
+	}
+}
+
+func TestNewLayoutRejectsNegativeN(t *testing.T) {
+	if _, err := NewLayout(-1, 4); err == nil {
+		t.Fatal("NewLayout accepted n=-1")
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	// 256 KB partitions of 4-byte values = 64K nodes (the paper's default).
+	l, err := FromBytes(1<<20, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 64<<10 {
+		t.Fatalf("Size = %d, want %d", l.Size(), 64<<10)
+	}
+	if l.K() != 16 {
+		t.Fatalf("K = %d, want 16", l.K())
+	}
+	if _, err := FromBytes(10, 2); err == nil {
+		t.Fatal("FromBytes accepted sub-value size")
+	}
+}
+
+func TestEmptyLayout(t *testing.T) {
+	l, err := NewLayout(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K() != 1 {
+		t.Fatalf("empty layout K = %d, want 1", l.K())
+	}
+	lo, hi := l.Bounds(0)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty layout bounds = [%d,%d)", lo, hi)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPartitionCoverage(t *testing.T) {
+	f := func(nRaw uint16, sizeLog uint8) bool {
+		n := int(nRaw)%5000 + 1
+		size := 1 << (sizeLog % 12)
+		l, err := NewLayout(n, size)
+		if err != nil {
+			return false
+		}
+		if l.Validate() != nil {
+			return false
+		}
+		// Every node belongs to exactly the partition whose bounds hold it.
+		for v := 0; v < n; v++ {
+			p := l.PartitionOf(graph.NodeID(v))
+			if p < 0 || p >= l.K() {
+				return false
+			}
+			lo, hi := l.Bounds(p)
+			if graph.NodeID(v) < lo || graph.NodeID(v) >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

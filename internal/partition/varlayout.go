@@ -1,0 +1,166 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// VarLayout is a contiguous index-range partitioning with *variable*
+// partition sizes — the building block for the edge-balanced partitioning
+// models the paper's conclusion proposes to explore ("we will explore edge
+// partitioning models to further reduce communication and improve load
+// balancing for PCPM").
+//
+// Unlike Layout, partition lookup is a binary search instead of a shift, so
+// VarLayout is used for construction-time analysis rather than hot loops.
+type VarLayout struct {
+	bounds []graph.NodeID // k+1 ascending boundaries; partition p = [bounds[p], bounds[p+1])
+}
+
+// NewVarLayout builds a layout from explicit boundaries. The slice must
+// start at 0, end at n, and be non-decreasing.
+func NewVarLayout(n int, bounds []graph.NodeID) (VarLayout, error) {
+	if len(bounds) < 2 {
+		return VarLayout{}, fmt.Errorf("partition: need at least 2 boundaries, got %d", len(bounds))
+	}
+	if bounds[0] != 0 || int(bounds[len(bounds)-1]) != n {
+		return VarLayout{}, fmt.Errorf("partition: boundaries must span [0, %d]", n)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return VarLayout{}, fmt.Errorf("partition: boundaries not monotone at %d", i)
+		}
+	}
+	return VarLayout{bounds: append([]graph.NodeID(nil), bounds...)}, nil
+}
+
+// EdgeBalanced builds a VarLayout with k partitions of roughly equal
+// *out-edge* counts: each partition owns a contiguous node range carrying
+// ≈ |E|/k edges, so heavy-hub regions get fewer nodes and sparse regions
+// more. This equalizes scatter-phase work across partitions.
+func EdgeBalanced(g *graph.Graph, k int) (VarLayout, error) {
+	n := g.NumNodes()
+	if k < 1 {
+		return VarLayout{}, fmt.Errorf("partition: k=%d invalid", k)
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+	bounds := make([]graph.NodeID, 0, k+1)
+	bounds = append(bounds, 0)
+	if n == 0 {
+		return NewVarLayout(0, append(bounds, 0))
+	}
+	total := g.NumEdges() + int64(n) // +1 per node keeps empty regions split
+	target := total / int64(k)
+	var acc int64
+	for v := 0; v < n && len(bounds) < k; v++ {
+		acc += g.OutDegree(graph.NodeID(v)) + 1
+		if acc >= target {
+			bounds = append(bounds, graph.NodeID(v+1))
+			acc = 0
+		}
+	}
+	for len(bounds) < k+1 {
+		bounds = append(bounds, graph.NodeID(n))
+	}
+	return NewVarLayout(n, bounds)
+}
+
+// K returns the partition count.
+func (l VarLayout) K() int { return len(l.bounds) - 1 }
+
+// Bounds returns partition p's half-open node range.
+func (l VarLayout) Bounds(p int) (lo, hi graph.NodeID) {
+	return l.bounds[p], l.bounds[p+1]
+}
+
+// Len returns the node count of partition p.
+func (l VarLayout) Len(p int) int {
+	return int(l.bounds[p+1] - l.bounds[p])
+}
+
+// MaxLen returns the largest partition size in nodes.
+func (l VarLayout) MaxLen() int {
+	mx := 0
+	for p := 0; p < l.K(); p++ {
+		if s := l.Len(p); s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// PartitionOf locates the partition owning v by binary search.
+func (l VarLayout) PartitionOf(v graph.NodeID) int {
+	// First boundary strictly greater than v, minus one.
+	return sort.Search(len(l.bounds)-1, func(p int) bool { return l.bounds[p+1] > v })
+}
+
+// EdgeCounts returns the out-edge count owned by each partition.
+func (l VarLayout) EdgeCounts(g *graph.Graph) []int64 {
+	counts := make([]int64, l.K())
+	for p := 0; p < l.K(); p++ {
+		lo, hi := l.Bounds(p)
+		for v := lo; v < hi; v++ {
+			counts[p] += g.OutDegree(v)
+		}
+	}
+	return counts
+}
+
+// Imbalance returns max/mean of the per-partition edge counts — 1.0 is
+// perfect balance. Skewed graphs under uniform index partitioning can be
+// badly imbalanced; EdgeBalanced pushes this toward 1.
+func Imbalance(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	var total, mx int64
+	for _, c := range counts {
+		total += c
+		if c > mx {
+			mx = c
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(mx) / mean
+}
+
+// UniformAsVar converts a power-of-two Layout into the equivalent
+// VarLayout, for apples-to-apples comparisons.
+func UniformAsVar(l Layout) VarLayout {
+	bounds := make([]graph.NodeID, l.K()+1)
+	for p := 0; p <= l.K(); p++ {
+		if p == l.K() {
+			bounds[p] = graph.NodeID(l.NumNodes())
+			continue
+		}
+		lo, _ := l.Bounds(p)
+		bounds[p] = lo
+	}
+	return VarLayout{bounds: bounds}
+}
+
+// CompressedEdges counts the PNG-compressed edge total |E'| that a variable
+// layout would produce — the quantity that drives eq. 5 — without building
+// the full PNG.
+func (l VarLayout) CompressedEdges(g *graph.Graph) int64 {
+	var total int64
+	for v := 0; v < g.NumNodes(); v++ {
+		prev := -1
+		for _, u := range g.OutNeighbors(graph.NodeID(v)) {
+			q := l.PartitionOf(u)
+			if q != prev {
+				total++
+				prev = q
+			}
+		}
+	}
+	return total
+}

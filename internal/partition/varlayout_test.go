@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func skewedGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	// First 1% of nodes carry most out-edges.
+	rng := rand.New(rand.NewPCG(5, 6))
+	var edges []graph.Edge
+	hub := n / 100
+	if hub < 1 {
+		hub = 1
+	}
+	for v := 0; v < n; v++ {
+		deg := 2
+		if v < hub {
+			deg = 200
+		}
+		for e := 0; e < deg; e++ {
+			edges = append(edges, graph.Edge{Src: graph.NodeID(v), Dst: graph.NodeID(rng.IntN(n))})
+		}
+	}
+	g, err := graph.FromEdges(n, edges, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewVarLayoutValidation(t *testing.T) {
+	if _, err := NewVarLayout(10, []graph.NodeID{0}); err == nil {
+		t.Error("accepted single boundary")
+	}
+	if _, err := NewVarLayout(10, []graph.NodeID{1, 10}); err == nil {
+		t.Error("accepted boundaries not starting at 0")
+	}
+	if _, err := NewVarLayout(10, []graph.NodeID{0, 5}); err == nil {
+		t.Error("accepted boundaries not ending at n")
+	}
+	if _, err := NewVarLayout(10, []graph.NodeID{0, 7, 3, 10}); err == nil {
+		t.Error("accepted non-monotone boundaries")
+	}
+}
+
+func TestEdgeBalancedImprovesImbalance(t *testing.T) {
+	g := skewedGraph(t, 4000)
+	uni, err := NewLayout(g.NumNodes(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniVar := UniformAsVar(uni)
+	bal, err := EdgeBalanced(g, uniVar.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iu := Imbalance(uniVar.EdgeCounts(g))
+	ib := Imbalance(bal.EdgeCounts(g))
+	if ib >= iu {
+		t.Fatalf("edge balancing did not help: uniform %.2f vs balanced %.2f", iu, ib)
+	}
+	if ib > 2.0 {
+		t.Fatalf("balanced imbalance %.2f still above 2x", ib)
+	}
+}
+
+func TestUniformAsVarMatchesLayout(t *testing.T) {
+	l, err := NewLayout(1000, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := UniformAsVar(l)
+	if v.K() != l.K() {
+		t.Fatalf("K mismatch: %d vs %d", v.K(), l.K())
+	}
+	for p := 0; p < l.K(); p++ {
+		llo, lhi := l.Bounds(p)
+		vlo, vhi := v.Bounds(p)
+		if llo != vlo || lhi != vhi {
+			t.Fatalf("bounds mismatch at partition %d", p)
+		}
+	}
+}
+
+func TestVarLayoutPartitionOf(t *testing.T) {
+	l, err := NewVarLayout(10, []graph.NodeID{0, 3, 3, 7, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[graph.NodeID]int{0: 0, 2: 0, 3: 2, 6: 2, 7: 3, 9: 3}
+	for v, want := range cases {
+		if got := l.PartitionOf(v); got != want {
+			t.Errorf("PartitionOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if l.Len(1) != 0 {
+		t.Fatalf("empty partition Len = %d", l.Len(1))
+	}
+	if l.MaxLen() != 4 {
+		t.Fatalf("MaxLen = %d, want 4", l.MaxLen())
+	}
+}
+
+func TestPropertyVarLayoutCoverage(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, kRaw uint8) bool {
+		n := int(nRaw)%3000 + 1
+		k := int(kRaw)%16 + 1
+		rng := rand.New(rand.NewPCG(seed, 9))
+		edges := make([]graph.Edge, n*2)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.NodeID(rng.IntN(n)), Dst: graph.NodeID(rng.IntN(n))}
+		}
+		g, err := graph.FromEdges(n, edges, false, graph.BuildOptions{})
+		if err != nil {
+			return false
+		}
+		l, err := EdgeBalanced(g, k)
+		if err != nil {
+			return false
+		}
+		// Every node belongs to exactly the partition whose bounds hold it,
+		// and partitions tile [0, n).
+		total := 0
+		for p := 0; p < l.K(); p++ {
+			total += l.Len(p)
+		}
+		if total != n {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			p := l.PartitionOf(graph.NodeID(v))
+			lo, hi := l.Bounds(p)
+			if graph.NodeID(v) < lo || graph.NodeID(v) >= hi {
+				return false
+			}
+		}
+		// Edge counts must sum to |E|.
+		var sum int64
+		for _, c := range l.EdgeCounts(g) {
+			sum += c
+		}
+		return sum == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedEdgesMatchesUniform(t *testing.T) {
+	g := skewedGraph(t, 2000)
+	uni, err := NewLayout(g.NumNodes(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := UniformAsVar(uni)
+	// Brute-force |E'| against the same definition used by png.Build.
+	var want int64
+	for x := 0; x < g.NumNodes(); x++ {
+		prev := -1
+		for _, u := range g.OutNeighbors(graph.NodeID(x)) {
+			q := uni.PartitionOf(u)
+			if q != prev {
+				want++
+				prev = q
+			}
+		}
+	}
+	if got := v.CompressedEdges(g); got != want {
+		t.Fatalf("CompressedEdges = %d, want %d", got, want)
+	}
+}
+
+func TestEdgeBalancedDegenerate(t *testing.T) {
+	empty, err := graph.FromEdges(0, nil, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EdgeBalanced(empty, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EdgeBalanced(empty, 0); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	single, err := graph.FromEdges(1, nil, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := EdgeBalanced(single, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K() < 1 {
+		t.Fatal("no partitions")
+	}
+}

@@ -1,0 +1,87 @@
+package png
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestBuildCompactMatchesFullStream(t *testing.T) {
+	g, err := gen.RMAT(gen.Graph500RMAT(11, 8, 13), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := partition.NewLayout(g.NumNodes(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildCompact(g, layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DestIDs16 == nil {
+		t.Fatal("BuildCompact did not materialize compact streams")
+	}
+	// Validate cross-checks every compact entry against the full stream.
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildCompactRejectsLargePartitions(t *testing.T) {
+	g, err := gen.ErdosRenyi(100_000, 1000, 3, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := partition.NewLayout(g.NumNodes(), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildCompact(g, layout, 1); err == nil {
+		t.Fatal("BuildCompact accepted 64K-node partitions")
+	}
+}
+
+func TestBuildCompactAtLimit(t *testing.T) {
+	g, err := gen.ErdosRenyi(CompactMaxPartitionNodes+5, 4000, 9, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := partition.NewLayout(g.NumNodes(), CompactMaxPartitionNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildCompact(g, layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCompactCorruption(t *testing.T) {
+	g, err := gen.ErdosRenyi(500, 3000, 4, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := partition.NewLayout(g.NumNodes(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildCompact(g, layout, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range p.DestIDs16 {
+		if len(p.DestIDs16[q]) > 0 {
+			p.DestIDs16[q][0] ^= 1
+			break
+		}
+	}
+	if err := p.Validate(g); err == nil {
+		t.Fatal("Validate accepted corrupted compact stream")
+	}
+}

@@ -1,0 +1,247 @@
+package reorder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/png"
+)
+
+func clusteredGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	// A copying-model graph has shared-neighbor structure for GOrder to
+	// find; shuffle its labels first so orderings start from scratch.
+	g, err := gen.Copying(gen.CopyingConfig{
+		N: 3000, OutDegree: 10, CopyProb: 0.6, Locality: 0.6, Seed: 5,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := Apply(g, Random(g.NumNodes(), 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shuffled
+}
+
+func compression(t testing.TB, g *graph.Graph) float64 {
+	t.Helper()
+	layout, err := partition.NewLayout(g.NumNodes(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := png.Build(g, layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.CompressionRatio(g)
+}
+
+func TestIdentityAndRandomAreValid(t *testing.T) {
+	if err := Validate(Identity(100), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(Random(100, 3), 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadPermutations(t *testing.T) {
+	if err := Validate([]graph.NodeID{0, 1}, 3); err == nil {
+		t.Error("accepted short permutation")
+	}
+	if err := Validate([]graph.NodeID{0, 0, 1}, 3); err == nil {
+		t.Error("accepted duplicate")
+	}
+	if err := Validate([]graph.NodeID{0, 1, 5}, 3); err == nil {
+		t.Error("accepted out-of-range")
+	}
+}
+
+func TestApplyPreservesStructure(t *testing.T) {
+	g := clusteredGraph(t)
+	perm := Random(g.NumNodes(), 7)
+	h, err := Apply(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatal("apply changed node/edge counts")
+	}
+	// Degrees must follow nodes through the relabeling.
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.OutDegree(graph.NodeID(v)) != h.OutDegree(perm[v]) {
+			t.Fatalf("out-degree of node %d not preserved", v)
+		}
+		if g.InDegree(graph.NodeID(v)) != h.InDegree(perm[v]) {
+			t.Fatalf("in-degree of node %d not preserved", v)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRejectsInvalidPerm(t *testing.T) {
+	g := clusteredGraph(t)
+	if _, err := Apply(g, Identity(3)); err == nil {
+		t.Fatal("Apply accepted wrong-size permutation")
+	}
+}
+
+func TestApplyIdentityIsNoop(t *testing.T) {
+	g := clusteredGraph(t)
+	h, err := Apply(g, Identity(g.NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("identity permutation changed the graph")
+	}
+}
+
+func TestGOrderIsValidPermutation(t *testing.T) {
+	g := clusteredGraph(t)
+	perm := GOrder(g, DefaultGOrderConfig())
+	if err := Validate(perm, g.NumNodes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGOrderDeterministic(t *testing.T) {
+	g := clusteredGraph(t)
+	a := GOrder(g, DefaultGOrderConfig())
+	b := GOrder(g, DefaultGOrderConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GOrder not deterministic")
+		}
+	}
+}
+
+func TestGOrderImprovesCompression(t *testing.T) {
+	// The Table 6 effect: relabeling with GOrder raises r.
+	g := clusteredGraph(t)
+	base := compression(t, g)
+	perm := GOrder(g, DefaultGOrderConfig())
+	h, err := Apply(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := compression(t, h)
+	if after <= base*1.1 {
+		t.Fatalf("GOrder did not improve compression: %.3f -> %.3f", base, after)
+	}
+}
+
+func TestBFSImprovesCompressionOverRandom(t *testing.T) {
+	g := clusteredGraph(t)
+	base := compression(t, g)
+	h, err := Apply(g, BFS(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := compression(t, h)
+	if after <= base {
+		t.Fatalf("BFS did not improve compression: %.3f -> %.3f", base, after)
+	}
+}
+
+func TestBFSIsValidOnDisconnectedGraph(t *testing.T) {
+	// Two components plus an isolated node.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 3, Dst: 4}}
+	g, err := graph.FromEdges(6, edges, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(BFS(g), 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(GOrder(g, DefaultGOrderConfig()), 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeOrderPlacesHubsFirst(t *testing.T) {
+	// Star: node 0 has in-degree 4, others 0.
+	edges := []graph.Edge{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0}, {Src: 4, Dst: 0}}
+	g, err := graph.FromEdges(5, edges, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := Degree(g)
+	if err := Validate(perm, 5); err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 0 {
+		t.Fatalf("hub should get label 0, got %d", perm[0])
+	}
+}
+
+func TestEmptyGraphOrderings(t *testing.T) {
+	g, err := graph.FromEdges(0, nil, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(GOrder(g, DefaultGOrderConfig())) != 0 {
+		t.Fatal("GOrder on empty graph")
+	}
+	if len(BFS(g)) != 0 {
+		t.Fatal("BFS on empty graph")
+	}
+	if len(Degree(g)) != 0 {
+		t.Fatal("Degree on empty graph")
+	}
+}
+
+func TestPropertyGOrderAlwaysBijective(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw)%150 + 1
+		m := int64(mRaw) % 1500
+		g, err := gen.ErdosRenyi(n, m, seed, graph.BuildOptions{})
+		if err != nil {
+			return false
+		}
+		return Validate(GOrder(g, GOrderConfig{Window: 3, HubCap: 16}), n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyApplyPreservesEdgeMultiset(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw)%100 + 1
+		m := int64(mRaw) % 800
+		g, err := gen.ErdosRenyi(n, m, seed, graph.BuildOptions{})
+		if err != nil {
+			return false
+		}
+		perm := Random(n, seed^1)
+		h, err := Apply(g, perm)
+		if err != nil {
+			return false
+		}
+		// Map h's edges back through the inverse and compare with g.
+		inv := make([]graph.NodeID, n)
+		for old, nw := range perm {
+			inv[nw] = graph.NodeID(old)
+		}
+		back := h.Edges()
+		for i := range back {
+			back[i].Src = inv[back[i].Src]
+			back[i].Dst = inv[back[i].Dst]
+		}
+		g2, err := graph.FromEdges(n, back, false, graph.BuildOptions{})
+		if err != nil {
+			return false
+		}
+		return g.Equal(g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

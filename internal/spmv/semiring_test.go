@@ -1,0 +1,137 @@
+package spmv
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSemiringPlusTimesMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	entries := randomEntries(rng, 200, 200, 2000)
+	m, err := NewMatrix(200, 200, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomVec(rng, 200)
+	y1 := make([]float32, 200)
+	y2 := make([]float32, 200)
+	pcpm, err := NewPCPMEngine(m, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcpm.Mul(x, y1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pcpm.MulSemiring(x, y2, PlusTimes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1 {
+		if math.Abs(float64(y1[i]-y2[i])) > 1e-4 {
+			t.Fatalf("semiring (+,*) diverges at %d: %v vs %v", i, y2[i], y1[i])
+		}
+	}
+}
+
+func TestSemiringMinPlus(t *testing.T) {
+	// 2x2: y[0] = min(A[0,0]+x[0], A[0,1]+x[1]).
+	m, err := NewMatrix(2, 2, []Entry{{0, 0, 5}, {0, 1, 1}, {1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float32{10, 3}
+	y := make([]float32, 2)
+	if err := NewCSREngine(m, 1).MulSemiring(x, y, MinPlus()); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 4 { // min(5+10, 1+3)
+		t.Fatalf("y[0] = %v, want 4", y[0])
+	}
+	if y[1] != 12 { // only A[1,0]: 2+10
+		t.Fatalf("y[1] = %v, want 12", y[1])
+	}
+}
+
+func TestSemiringZeroRowGivesIdentity(t *testing.T) {
+	m, err := NewMatrix(2, 2, []Entry{{0, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float32, 2)
+	if err := NewCSREngine(m, 1).MulSemiring([]float32{1, 1}, y, MinPlus()); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(y[1]), 1) {
+		t.Fatalf("empty row should yield +Inf, got %v", y[1])
+	}
+}
+
+func TestPropertySemiringEnginesAgree(t *testing.T) {
+	f := func(seed uint64, rRaw, cRaw uint8, nnzRaw uint16) bool {
+		rows := int(rRaw)%100 + 1
+		cols := int(cRaw)%100 + 1
+		nnz := int(nnzRaw) % 800
+		rng := rand.New(rand.NewPCG(seed, 17))
+		entries := make([]Entry, nnz)
+		for i := range entries {
+			entries[i] = Entry{
+				Row: uint32(rng.IntN(rows)),
+				Col: uint32(rng.IntN(cols)),
+				Val: rng.Float32() * 3,
+			}
+		}
+		m, err := NewMatrix(rows, cols, entries)
+		if err != nil {
+			return false
+		}
+		x := make([]float32, cols)
+		for i := range x {
+			x[i] = rng.Float32() * 5
+		}
+		for _, sr := range []Semiring{MinPlus(), MinFirst(), PlusTimes()} {
+			yc := make([]float32, rows)
+			yp := make([]float32, rows)
+			if err := NewCSREngine(m, 1).MulSemiring(x, yc, sr); err != nil {
+				return false
+			}
+			pcpm, err := NewPCPMEngine(m, 64, 1)
+			if err != nil {
+				return false
+			}
+			if err := pcpm.MulSemiring(x, yp, sr); err != nil {
+				return false
+			}
+			for i := range yc {
+				a, b := float64(yc[i]), float64(yp[i])
+				if math.IsInf(a, 1) != math.IsInf(b, 1) {
+					return false
+				}
+				if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiringDimChecks(t *testing.T) {
+	m, err := NewMatrix(2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcpm, err := NewPCPMEngine(m, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pcpm.MulSemiring(make([]float32, 2), make([]float32, 2), MinPlus()); err == nil {
+		t.Fatal("accepted bad dims")
+	}
+	if err := NewCSREngine(m, 1).MulSemiring(make([]float32, 3), make([]float32, 9), MinPlus()); err == nil {
+		t.Fatal("accepted bad dims")
+	}
+}

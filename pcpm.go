@@ -1,0 +1,189 @@
+// Package pcpm is the public facade of the Partition-Centric Processing
+// Methodology (PCPM) PageRank library, a from-scratch Go reproduction of
+// "Accelerating PageRank using Partition-Centric Processing" (Lakhotia,
+// Kannan, Prasanna — USENIX ATC 2018).
+//
+// The facade wraps the implementation packages under internal/ (graph
+// substrate, partitioner, PNG layout, engines, traffic simulator) behind a
+// small surface:
+//
+//	g, _ := pcpm.LoadEdgeList(file)
+//	res, _ := pcpm.Run(g, pcpm.Options{Method: pcpm.MethodPCPM, Iterations: 20})
+//	for _, e := range pcpm.TopK(res.Ranks, 10) { ... }
+//
+// Engines: MethodPDPR (pull baseline, Algorithm 1), MethodPush (push with
+// atomics), MethodBVGAS (binning vertex-centric GAS, Algorithm 5),
+// MethodPCPMCSR (partition-centric without the PNG layout, Algorithm 2),
+// and MethodPCPM (the paper's contribution: PNG scatter, Algorithm 3, plus
+// branch-avoiding gather, Algorithm 4).
+package pcpm
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Method names a PageRank engine.
+type Method string
+
+// The available engines.
+const (
+	MethodPDPR    Method = "pdpr"
+	MethodPush    Method = "push"
+	MethodBVGAS   Method = "bvgas"
+	MethodPCPMCSR Method = "pcpm-csr"
+	MethodPCPM    Method = "pcpm"
+)
+
+// Methods lists every engine in baseline-to-contribution order.
+func Methods() []Method {
+	return []Method{MethodPDPR, MethodPush, MethodBVGAS, MethodPCPMCSR, MethodPCPM}
+}
+
+// Options configure a Run. Zero values select the paper's defaults:
+// PCPM engine, damping 0.85, 256 KB partitions, GOMAXPROCS workers,
+// 20 iterations, dangling mass leaking as in the paper's formulation.
+type Options struct {
+	// Method selects the engine (default MethodPCPM).
+	Method Method
+	// Damping is the PageRank damping factor d (default 0.85).
+	Damping float64
+	// PartitionBytes sets the PCPM partition / BVGAS bin width in bytes of
+	// 4-byte vertex values; must be a power of two (default 256 KB).
+	PartitionBytes int
+	// Workers bounds engine parallelism (default GOMAXPROCS).
+	Workers int
+	// Iterations runs a fixed number of iterations (default 20) unless
+	// Tolerance is set.
+	Iterations int
+	// Tolerance, if positive, runs until the L1 rank change drops below it
+	// (capped at MaxIterations).
+	Tolerance float64
+	// MaxIterations caps convergence mode (default 1000).
+	MaxIterations int
+	// RedistributeDangling spreads dangling-node mass uniformly each
+	// iteration so ranks sum to 1; the default (false) reproduces the
+	// paper's formulation, which lets that mass leak.
+	RedistributeDangling bool
+	// BranchingGather selects the Algorithm 2 gather ablation for the PCPM
+	// engines instead of the branch-avoiding Algorithm 4 gather.
+	BranchingGather bool
+	// CompactIDs enables the §6 extension: 16-bit partition-local
+	// destination IDs in the PCPM gather stream (partitions must be at
+	// most 128 KB).
+	CompactIDs bool
+}
+
+// Result reports a completed PageRank computation.
+type Result struct {
+	// Ranks holds the final (unscaled) PageRank values, indexed by node.
+	Ranks []float32
+	// Iterations actually executed.
+	Iterations int
+	// Delta is the L1 change of the final iteration.
+	Delta float64
+	// Stats carries cumulative per-phase wall-clock times.
+	Stats core.PhaseStats
+	// PreprocessTime is the one-off setup cost (PNG construction for PCPM,
+	// bin sizing for BVGAS; zero for the pull/push baselines).
+	PreprocessTime time.Duration
+	// CompressionRatio is r = |E|/|E'| for the PCPM engines, 0 otherwise.
+	CompressionRatio float64
+	// Method that produced the result.
+	Method Method
+}
+
+func (o Options) coreConfig() core.Config {
+	cfg := core.Config{
+		Damping:        o.Damping,
+		Workers:        o.Workers,
+		PartitionBytes: o.PartitionBytes,
+	}
+	if o.RedistributeDangling {
+		cfg.Dangling = core.DanglingRedistribute
+	}
+	if o.BranchingGather {
+		cfg.Gather = core.GatherBranching
+	}
+	cfg.CompactIDs = o.CompactIDs
+	return cfg
+}
+
+// NewEngine constructs the engine selected by the options without running
+// it, for callers that want to drive iterations themselves.
+func NewEngine(g *graph.Graph, o Options) (core.Engine, error) {
+	cfg := o.coreConfig()
+	switch o.Method {
+	case MethodPDPR:
+		return core.NewPDPR(g, cfg)
+	case MethodPush:
+		return core.NewPush(g, cfg)
+	case MethodBVGAS:
+		return core.NewBVGAS(g, cfg)
+	case MethodPCPMCSR:
+		return core.NewPCPMCSR(g, cfg)
+	case MethodPCPM, "":
+		return core.NewPCPM(g, cfg)
+	default:
+		return nil, fmt.Errorf("pcpm: unknown method %q", o.Method)
+	}
+}
+
+// Run executes PageRank on g with the given options.
+func Run(g *graph.Graph, o Options) (*Result, error) {
+	e, err := NewEngine(g, o)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Method: Method(e.Name()), PreprocessTime: e.PreprocessTime()}
+	if p, ok := e.(*core.PCPM); ok {
+		res.CompressionRatio = p.CompressionRatio()
+	}
+	if o.Tolerance > 0 {
+		maxIters := o.MaxIterations
+		if maxIters <= 0 {
+			maxIters = 1000
+		}
+		res.Iterations, res.Delta = core.RunToConvergence(e, o.Tolerance, maxIters)
+	} else {
+		iters := o.Iterations
+		if iters <= 0 {
+			iters = 20
+		}
+		for i := 0; i < iters; i++ {
+			res.Delta = e.Step()
+		}
+		res.Iterations = iters
+	}
+	res.Ranks = e.Ranks()
+	res.Stats = e.Stats()
+	return res, nil
+}
+
+// RankEntry re-exports core.RankEntry for TopK consumers.
+type RankEntry = core.RankEntry
+
+// TopK returns the k highest-ranked nodes in descending order.
+func TopK(ranks []float32, k int) []RankEntry { return core.TopK(ranks, k) }
+
+// NewGraphBuilder returns a builder for assembling a graph edge by edge.
+func NewGraphBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
+
+// LoadEdgeList parses a "src dst [weight]" text edge list; node count is
+// inferred from the largest ID.
+func LoadEdgeList(r io.Reader) (*graph.Graph, error) {
+	return graph.ReadEdgeList(r, graph.BuildOptions{})
+}
+
+// LoadBinary reads a graph in the repo's binary format.
+func LoadBinary(r io.Reader) (*graph.Graph, error) { return graph.ReadBinary(r) }
+
+// SaveBinary writes a graph in the repo's binary format.
+func SaveBinary(w io.Writer, g *graph.Graph) error { return graph.WriteBinary(w, g) }
+
+// SaveEdgeList writes a graph as a text edge list.
+func SaveEdgeList(w io.Writer, g *graph.Graph) error { return graph.WriteEdgeList(w, g) }

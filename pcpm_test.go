@@ -1,0 +1,187 @@
+package pcpm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func facadeGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.Graph500RMAT(9, 8, 21), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunAllMethodsAgree(t *testing.T) {
+	g := facadeGraph(t)
+	var base []float32
+	for _, m := range Methods() {
+		res, err := Run(g, Options{Method: m, Iterations: 8, PartitionBytes: 1024, Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.Iterations != 8 {
+			t.Fatalf("%s: iterations = %d", m, res.Iterations)
+		}
+		if res.Method != m {
+			t.Fatalf("method echo = %q, want %q", res.Method, m)
+		}
+		if base == nil {
+			base = res.Ranks
+			continue
+		}
+		for i := range res.Ranks {
+			if math.Abs(float64(res.Ranks[i]-base[i])) > 1e-5 {
+				t.Fatalf("%s: rank[%d] diverges: %v vs %v", m, i, res.Ranks[i], base[i])
+			}
+		}
+	}
+}
+
+func TestRunDefaultsToPCPM(t *testing.T) {
+	g := facadeGraph(t)
+	res, err := Run(g, Options{Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != MethodPCPM {
+		t.Fatalf("default method = %q", res.Method)
+	}
+	if res.CompressionRatio < 1 {
+		t.Fatalf("compression ratio = %v", res.CompressionRatio)
+	}
+	if res.PreprocessTime <= 0 {
+		t.Fatal("PCPM should report preprocessing time")
+	}
+}
+
+func TestRunUnknownMethod(t *testing.T) {
+	g := facadeGraph(t)
+	if _, err := Run(g, Options{Method: "magic"}); err == nil {
+		t.Fatal("accepted unknown method")
+	}
+}
+
+func TestRunConvergenceMode(t *testing.T) {
+	g := facadeGraph(t)
+	res, err := Run(g, Options{Tolerance: 1e-6, MaxIterations: 500, PartitionBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta >= 1e-6 {
+		t.Fatalf("did not converge: delta %g after %d iterations", res.Delta, res.Iterations)
+	}
+	if res.Iterations >= 500 {
+		t.Fatal("hit iteration cap")
+	}
+}
+
+func TestRunRedistributeSumsToOne(t *testing.T) {
+	g := facadeGraph(t)
+	res, err := Run(g, Options{Iterations: 40, RedistributeDangling: true, PartitionBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range res.Ranks {
+		sum += float64(r)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("rank sum = %v", sum)
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g := facadeGraph(t)
+	var bin bytes.Buffer
+	if err := SaveBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(g2) {
+		t.Fatal("binary round trip changed graph")
+	}
+	var txt bytes.Buffer
+	if err := SaveEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := LoadEdgeList(strings.NewReader(txt.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != g.NumEdges() {
+		t.Fatal("text round trip changed edge count")
+	}
+}
+
+func TestBuilderThroughFacade(t *testing.T) {
+	b := NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g, err := b.Build(graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, Options{Iterations: 30, PartitionBytes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Ranks {
+		if math.Abs(float64(r)-1.0/3) > 1e-4 {
+			t.Fatalf("cycle ranks = %v", res.Ranks)
+		}
+	}
+	top := TopK(res.Ranks, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK = %v", top)
+	}
+}
+
+func TestBranchingGatherOption(t *testing.T) {
+	g := facadeGraph(t)
+	a, err := Run(g, Options{Iterations: 5, PartitionBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{Iterations: 5, PartitionBytes: 1024, BranchingGather: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			t.Fatal("gather ablation changed results")
+		}
+	}
+}
+
+func TestCompactIDsOption(t *testing.T) {
+	g := facadeGraph(t)
+	a, err := Run(g, Options{Iterations: 5, PartitionBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{Iterations: 5, PartitionBytes: 1024, CompactIDs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			t.Fatal("compact IDs changed facade results")
+		}
+	}
+	// Oversized partitions must be rejected when compact IDs are requested.
+	if _, err := Run(g, Options{Iterations: 1, PartitionBytes: 512 << 10, CompactIDs: true}); err == nil {
+		t.Skip("graph too small to exceed the compact limit") // n < 128K nodes
+	}
+}
