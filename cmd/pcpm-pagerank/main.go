@@ -11,10 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	pcpm "repro"
-	"repro/internal/graph"
 )
 
 func main() {
@@ -46,12 +44,7 @@ func main() {
 	}
 	defer f.Close()
 
-	var g *graph.Graph
-	if strings.HasSuffix(*in, ".txt") {
-		g, err = graph.ReadEdgeList(f, graph.BuildOptions{})
-	} else {
-		g, err = graph.ReadBinary(f)
-	}
+	g, err := pcpm.LoadGraph(f)
 	if err != nil {
 		fail(err)
 	}

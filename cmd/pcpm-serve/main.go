@@ -1,0 +1,126 @@
+// Command pcpm-serve runs the rank-serving HTTP daemon: it loads graphs (at
+// startup from -graph flags, or over HTTP), computes PageRank with the PCPM
+// engine, caches the rank vectors, and answers top-k / per-vertex queries
+// while recomputes run in the background.
+//
+// Usage:
+//
+//	pcpm-serve -addr :8080 -graph web=web.bin -graph kron=kron.txt
+//	curl -XPOST --data-binary @edges.txt 'localhost:8080/v1/graphs?name=mine'
+//	curl 'localhost:8080/v1/graphs/mine/topk?k=5'
+//	curl -XPOST 'localhost:8080/v1/graphs/mine/recompute?wait=true' \
+//	     -d '{"damping":0.9}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	pcpm "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		method    = flag.String("method", "pcpm", "default engine: pdpr|push|bvgas|pcpm-csr|pcpm")
+		iters     = flag.Int("iters", 20, "default fixed iteration count")
+		tol       = flag.Float64("tol", 0, "default convergence tolerance (0 = fixed iterations)")
+		damping   = flag.Float64("damping", 0.85, "default damping factor")
+		partBytes = flag.Int("partition", 256<<10, "default partition/bin size in bytes")
+		workers   = flag.Int("workers", 0, "default worker count (0 = GOMAXPROCS)")
+		maxUpload = flag.Int64("max-upload", 1<<30, "largest accepted graph upload in bytes")
+		verbose   = flag.Bool("v", false, "debug logging")
+	)
+	var preload []string
+	flag.Func("graph", "preload a graph as name=path (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return errors.New("want name=path")
+		}
+		preload = append(preload, v)
+		return nil
+	})
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	srv := serve.New(serve.Config{
+		Defaults: pcpm.Options{
+			Method:         pcpm.Method(*method),
+			Damping:        *damping,
+			Iterations:     *iters,
+			Tolerance:      *tol,
+			PartitionBytes: *partBytes,
+			Workers:        *workers,
+		},
+		Logger:         logger,
+		MaxUploadBytes: *maxUpload,
+	})
+
+	for _, spec := range preload {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := loadFile(srv, name, path); err != nil {
+			logger.Error("preload failed", "graph", name, "path", path, "error", err)
+			os.Exit(1)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr, "graphs", srv.NumGraphs())
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown incomplete", "error", err)
+		os.Exit(1)
+	}
+	logger.Info("bye")
+}
+
+// loadFile ingests one preload graph, auto-detecting its format.
+func loadFile(srv *serve.Server, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := pcpm.LoadGraph(f)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	_, err = srv.AddGraph(name, g, pcpm.Options{}, false)
+	return err
+}

@@ -1,0 +1,85 @@
+// Serving: stand up the rank-serving subsystem in-process, ingest a graph
+// over HTTP exactly as a client would, and query it — the "millions of
+// users" path in miniature. A recompute with a different damping factor
+// runs while top-k queries keep answering from the cached snapshot.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	pcpm "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func main() {
+	// An in-process HTTP server; `pcpm-serve -addr :8080` is the real thing.
+	srv := serve.New(serve.Config{
+		Defaults: pcpm.Options{Iterations: 20},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A client uploads a graph as a plain text edge list.
+	g, err := gen.PreferentialAttachment(2000, 8, 42, graph.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := pcpm.SaveEdgeList(&body, g); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/graphs?name=social", "text/plain", &body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/graphs?name=social -> %s\n", resp.Status)
+	printBody(resp)
+
+	// Top-k queries read the cached snapshot — no engine run per query.
+	resp, err = http.Get(ts.URL + "/v1/graphs/social/topk?k=5")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /v1/graphs/social/topk?k=5 -> %s\n", resp.Status)
+	printBody(resp)
+
+	// Recompute with a different damping factor; wait=true blocks until the
+	// new snapshot is published, then queries serve the new ranks.
+	resp, err = http.Post(ts.URL+"/v1/graphs/social/recompute?wait=true",
+		"application/json", bytes.NewBufferString(`{"damping":0.5}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPOST /v1/graphs/social/recompute (damping 0.5) -> %s\n", resp.Status)
+	printBody(resp)
+
+	resp, err = http.Get(ts.URL + "/v1/graphs/social/rank/0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGET /v1/graphs/social/rank/0 -> %s\n", resp.Status)
+	printBody(resp)
+}
+
+// printBody pretty-prints a JSON response body.
+func printBody(resp *http.Response) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if json.Indent(&buf, raw, "  ", "  ") == nil {
+		fmt.Printf("  %s\n", buf.String())
+	} else {
+		fmt.Printf("  %s\n", raw)
+	}
+}

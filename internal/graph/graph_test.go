@@ -2,7 +2,9 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand/v2"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -259,6 +261,36 @@ func TestBinaryIOTruncated(t *testing.T) {
 		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("ReadBinary accepted file truncated to %d bytes", cut)
 		}
+	}
+}
+
+// TestBinaryIOLyingHeader feeds headers whose claimed node/edge counts far
+// exceed the stream's actual bytes; the reader must fail on the short read
+// without allocating anywhere near what the header claims (the stream may
+// be an untrusted upload).
+func TestBinaryIOLyingHeader(t *testing.T) {
+	header := func(n, m uint64) []byte {
+		b := append([]byte{}, binaryMagic[:]...)
+		for _, v := range []uint64{n, m, 0} {
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		return b
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for _, h := range [][]byte{
+		header(MaxNodes, 0),        // 2^31 nodes claimed, zero offset bytes present
+		header(4, 1<<60),           // astronomic edge count
+		header(1<<20, 1<<40),       // both large
+		append(header(8, 4), 1, 2), // a few stray bytes after the header
+	} {
+		if _, err := ReadBinary(bytes.NewReader(h)); err == nil {
+			t.Errorf("ReadBinary accepted lying header %v", h[:16])
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Errorf("lying headers drove %d MB of allocation; want bounded by stream size", grew>>20)
 	}
 }
 

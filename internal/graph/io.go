@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -115,6 +116,13 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // file size.
 var binaryMagic = [8]byte{'P', 'C', 'P', 'M', 'G', 'R', 'F', '1'}
 
+// SniffBinary reports whether head (the first bytes of a stream, at least 8)
+// starts with the binary graph format's magic. Callers use it to dispatch
+// between ReadBinary and ReadEdgeList without trusting file extensions.
+func SniffBinary(head []byte) bool {
+	return len(head) >= len(binaryMagic) && [8]byte(head[:8]) == binaryMagic
+}
+
 // WriteBinary serializes the graph in the repo's binary format.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
@@ -147,9 +155,16 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary.
+// ReadBinary deserializes a graph written by WriteBinary. The header's
+// claimed node and edge counts are not trusted for allocation: arrays grow
+// only as the corresponding bytes actually arrive, so a crafted header on a
+// short stream cannot force a huge upfront allocation (the input may be an
+// untrusted HTTP upload).
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<20)
+	}
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
@@ -167,21 +182,15 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: node count %d exceeds 2^31", n)
 	}
 	g := &Graph{n: int(n), m: int64(m)}
-	g.outOff = make([]int64, n+1)
-	for i := range g.outOff {
-		var o uint64
-		if err := binary.Read(br, binary.LittleEndian, &o); err != nil {
-			return nil, fmt.Errorf("graph: reading offsets: %w", err)
-		}
-		g.outOff[i] = int64(o)
+	var err error
+	if g.outOff, err = readI64Grow(br, int64(n)+1); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
-	g.outAdj = make([]NodeID, m)
-	if err := readU32Slice(br, g.outAdj); err != nil {
+	if g.outAdj, err = readU32Grow(br, int64(m)); err != nil {
 		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
 	}
 	if flags&1 != 0 {
-		g.outW = make([]float32, m)
-		if err := binary.Read(br, binary.LittleEndian, g.outW); err != nil {
+		if g.outW, err = readF32Grow(br, int64(m)); err != nil {
 			return nil, fmt.Errorf("graph: reading weights: %w", err)
 		}
 	}
@@ -211,23 +220,59 @@ func writeU32Slice(w io.Writer, s []uint32) error {
 	return nil
 }
 
-func readU32Slice(r io.Reader, s []uint32) error {
+// The chunked readers below decode `count` little-endian values while
+// allocating in proportion to bytes actually read, never to the count a
+// header merely claims.
+
+func readI64Grow(r io.Reader, count int64) ([]int64, error) {
 	const chunk = 1 << 16
-	buf := make([]byte, 4*chunk)
-	for len(s) > 0 {
-		c := len(s)
-		if c > chunk {
-			c = chunk
+	out := make([]int64, 0, min(count, chunk))
+	buf := make([]byte, 8*chunk)
+	for remaining := count; remaining > 0; {
+		c := min(remaining, chunk)
+		if _, err := io.ReadFull(r, buf[:8*c]); err != nil {
+			return nil, err
 		}
-		if _, err := io.ReadFull(r, buf[:4*c]); err != nil {
-			return err
+		for i := int64(0); i < c; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[8*i:])))
 		}
-		for i := 0; i < c; i++ {
-			s[i] = binary.LittleEndian.Uint32(buf[4*i:])
-		}
-		s = s[c:]
+		remaining -= c
 	}
-	return nil
+	return out, nil
+}
+
+func readU32Grow(r io.Reader, count int64) ([]uint32, error) {
+	const chunk = 1 << 16
+	out := make([]uint32, 0, min(count, chunk))
+	buf := make([]byte, 4*chunk)
+	for remaining := count; remaining > 0; {
+		c := min(remaining, chunk)
+		if _, err := io.ReadFull(r, buf[:4*c]); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		remaining -= c
+	}
+	return out, nil
+}
+
+func readF32Grow(r io.Reader, count int64) ([]float32, error) {
+	const chunk = 1 << 16
+	out := make([]float32, 0, min(count, chunk))
+	buf := make([]byte, 4*chunk)
+	for remaining := count; remaining > 0; {
+		c := min(remaining, chunk)
+		if _, err := io.ReadFull(r, buf[:4*c]); err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < c; i++ {
+			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:])))
+		}
+		remaining -= c
+	}
+	return out, nil
 }
 
 // rebuildCSC recomputes the in-edge arrays from CSR.

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	pcpm "repro"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	GET    /healthz                        liveness + registry size
+//	GET    /v1/graphs                      list loaded graphs
+//	POST   /v1/graphs?name=N[&opts...]     ingest edge list or binary body
+//	GET    /v1/graphs/{name}               one graph's info
+//	DELETE /v1/graphs/{name}               drop a graph
+//	GET    /v1/graphs/{name}/topk?k=K      top-K ranked nodes
+//	GET    /v1/graphs/{name}/rank/{vertex} one vertex's rank
+//	POST   /v1/graphs/{name}/recompute     re-run the engine (JSON options)
+//
+// The handler chain wraps the mux with panic recovery and request logging.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/graphs", s.handleList)
+	mux.HandleFunc("POST /v1/graphs", s.handleIngest)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
+	mux.HandleFunc("GET /v1/graphs/{name}/topk", s.handleTopK)
+	mux.HandleFunc("GET /v1/graphs/{name}/rank/{vertex}", s.handleRank)
+	mux.HandleFunc("POST /v1/graphs/{name}/recompute", s.handleRecompute)
+	// recoverer sits inside the logger so a panicking request still gets an
+	// access-log line (with the 500 the recoverer writes).
+	return requestLogger(s.log, recoverer(s.log, mux))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"graphs":   s.NumGraphs(),
+		"uptime_s": s.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.List()})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if !ValidName(name) {
+		writeError(w, http.StatusBadRequest,
+			"missing or invalid ?name= (want [a-zA-Z0-9._-]{1,128})")
+		return
+	}
+	opts, err := s.optionsFromQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	replace := q.Get("replace") == "true"
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	g, err := pcpm.LoadGraph(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if !errors.As(err, &tooBig) {
+			// The edge-list scanner can trip on the cap-truncated final line
+			// before it observes the reader's error; probing one more byte
+			// distinguishes "body hit the cap" from a malformed graph.
+			var probe [1]byte
+			if _, perr := body.Read(probe[:]); perr != nil {
+				errors.As(perr, &tooBig)
+			}
+		}
+		if tooBig != nil {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parsing graph: %v", err))
+		return
+	}
+	info, err := s.AddGraph(name, g, opts, replace)
+	if err != nil {
+		if errors.Is(err, ErrExists) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	info, err := s.Info(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.Remove(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// rankJSON is the wire form of a pcpm.RankEntry.
+type rankJSON struct {
+	Node uint32  `json:"node"`
+	Rank float32 `json:"rank"`
+}
+
+func toRankJSON(entries []pcpm.RankEntry) []rankJSON {
+	out := make([]rankJSON, len(entries))
+	for i, e := range entries {
+		out[i] = rankJSON{Node: e.Node, Rank: e.Rank}
+	}
+	return out
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad ?k=: want a non-negative integer")
+			return
+		}
+		k = v
+	}
+	entries, snap, err := s.TopK(name, k)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":   name,
+		"k":       len(entries),
+		"method":  snap.Method,
+		"version": snap.Version,
+		"ranks":   toRankJSON(entries),
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	vertex, err := strconv.ParseUint(r.PathValue("vertex"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad vertex: want a uint32 node ID")
+		return
+	}
+	rank, snap, err := s.Rank(name, uint32(vertex))
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":   name,
+		"node":    vertex,
+		"rank":    rank,
+		"method":  snap.Method,
+		"version": snap.Version,
+	})
+}
+
+// recomputeRequest is the JSON body of POST .../recompute. Absent fields
+// inherit the option values that produced the graph's current snapshot.
+type recomputeRequest struct {
+	Method       *string  `json:"method,omitempty"`
+	Damping      *float64 `json:"damping,omitempty"`
+	Iterations   *int     `json:"iterations,omitempty"`
+	Tolerance    *float64 `json:"tolerance,omitempty"`
+	Partition    *int     `json:"partition,omitempty"`
+	Workers      *int     `json:"workers,omitempty"`
+	Redistribute *bool    `json:"redistribute,omitempty"`
+	Compact      *bool    `json:"compact,omitempty"`
+	Wait         bool     `json:"wait,omitempty"`
+}
+
+func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req recomputeRequest
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+			return
+		}
+	}
+	if r.URL.Query().Get("wait") == "true" {
+		req.Wait = true
+	}
+	ov := Overrides{
+		Damping:              req.Damping,
+		Iterations:           req.Iterations,
+		Tolerance:            req.Tolerance,
+		PartitionBytes:       req.Partition,
+		Workers:              req.Workers,
+		RedistributeDangling: req.Redistribute,
+		CompactIDs:           req.Compact,
+	}
+	if req.Method != nil {
+		m := pcpm.Method(*req.Method)
+		ov.Method = &m
+	}
+	st, err := s.Recompute(name, ov, req.Wait)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrInvalidOptions):
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	resp := map[string]any{
+		"graph":     name,
+		"started":   st.Started,
+		"coalesced": !st.Started,
+	}
+	if st.Snapshot != nil {
+		resp["version"] = st.Snapshot.Version
+		resp["iterations"] = st.Snapshot.Iterations
+		resp["delta"] = st.Snapshot.Delta
+		resp["compute_ms"] = float64(st.Snapshot.ComputeTime) / float64(time.Millisecond)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// optionsFromQuery parses engine options from ingest query parameters.
+// Booleans are tri-state: absent inherits the server default, an explicit
+// =true/=false overrides it either way.
+func (s *Server) optionsFromQuery(q url.Values) (pcpm.Options, error) {
+	var o pcpm.Options
+	o.Method = pcpm.Method(q.Get("method"))
+	var err error
+	parseF := func(key string, dst *float64) {
+		if err != nil || q.Get(key) == "" {
+			return
+		}
+		if *dst, err = strconv.ParseFloat(q.Get(key), 64); err != nil {
+			err = fmt.Errorf("bad ?%s=%q: %v", key, q.Get(key), err)
+		}
+	}
+	parseI := func(key string, dst *int) {
+		if err != nil || q.Get(key) == "" {
+			return
+		}
+		if *dst, err = strconv.Atoi(q.Get(key)); err != nil {
+			err = fmt.Errorf("bad ?%s=%q: %v", key, q.Get(key), err)
+		}
+	}
+	parseF("damping", &o.Damping)
+	parseF("tolerance", &o.Tolerance)
+	parseI("iterations", &o.Iterations)
+	parseI("partition", &o.PartitionBytes)
+	parseI("workers", &o.Workers)
+	o.RedistributeDangling = s.cfg.Defaults.RedistributeDangling
+	o.CompactIDs = s.cfg.Defaults.CompactIDs
+	o.BranchingGather = s.cfg.Defaults.BranchingGather
+	if q.Has("redistribute") {
+		o.RedistributeDangling = q.Get("redistribute") == "true"
+	}
+	if q.Has("compact") {
+		o.CompactIDs = q.Get("compact") == "true"
+	}
+	return o, err
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing useful to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}

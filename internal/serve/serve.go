@@ -1,0 +1,510 @@
+// Package serve implements the rank-serving subsystem: a Server that owns a
+// registry of loaded graphs, runs the PCPM engines (via the pcpm facade) on
+// ingest or on demand, caches the resulting rank vectors, and answers
+// concurrent queries over HTTP.
+//
+// The serving contract is read-mostly: each graph's latest completed
+// computation lives in an immutable Snapshot behind an atomic pointer, so
+// top-k and single-vertex reads are a pointer load — no lock is held while a
+// recompute runs in the background. Recomputes for the same graph are
+// coalesced: while one is in flight, further recompute requests attach to it
+// instead of queueing duplicate engine runs. The snapshot pointer only ever
+// swaps from one complete rank vector to another, so concurrent readers see
+// either the old ranks or the new ranks, never a mix.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pcpm "repro"
+	"repro/internal/graph"
+)
+
+// Errors returned by registry operations; the HTTP layer maps them to
+// status codes (404, 409).
+var (
+	ErrNotFound       = errors.New("serve: graph not found")
+	ErrExists         = errors.New("serve: graph already exists")
+	ErrInvalidOptions = errors.New("serve: invalid options")
+)
+
+// topKCacheSize is how many top entries each snapshot precomputes so the
+// common small-k query is O(k) copy instead of an O(n log n) sort per hit.
+const topKCacheSize = 128
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,128}$`)
+
+// ValidName reports whether name is acceptable as a graph registry key
+// (path-segment safe: letters, digits, '.', '_', '-'; at most 128 bytes).
+func ValidName(name string) bool { return nameRE.MatchString(name) }
+
+// Snapshot is one immutable, completed PageRank computation. All fields are
+// written before the snapshot is published and never mutated afterwards.
+type Snapshot struct {
+	// Ranks is the full (unscaled) rank vector, indexed by node ID.
+	Ranks []float32
+	// Options that produced this snapshot.
+	Options pcpm.Options
+	// Method, Iterations, Delta mirror the pcpm.Result fields.
+	Method     pcpm.Method
+	Iterations int
+	Delta      float64
+	// Version increments with every published snapshot of a graph, starting
+	// at 1 for the ingest-time computation.
+	Version uint64
+	// ComputedAt and ComputeTime record when and how long the engine ran.
+	ComputedAt  time.Time
+	ComputeTime time.Duration
+
+	topk []pcpm.RankEntry // first topKCacheSize entries, precomputed
+}
+
+// TopK returns the k highest-ranked nodes of this snapshot in descending
+// order, serving from the precomputed prefix when k is small.
+func (s *Snapshot) TopK(k int) []pcpm.RankEntry {
+	if k < 0 {
+		k = 0
+	}
+	if k <= len(s.topk) {
+		out := make([]pcpm.RankEntry, k)
+		copy(out, s.topk[:k])
+		return out
+	}
+	return pcpm.TopK(s.Ranks, k)
+}
+
+// entry is one registered graph plus its serving state.
+type entry struct {
+	name  string
+	g     *graph.Graph
+	stats graph.Stats
+
+	snap    atomic.Pointer[Snapshot]
+	version atomic.Uint64
+
+	mu       sync.Mutex // guards inflight and lastErr
+	inflight *inflightRun
+	lastErr  string
+}
+
+// inflightRun is a recompute in progress; coalesced requests share it.
+type inflightRun struct {
+	done chan struct{} // closed when the run finishes
+	err  error         // valid after done is closed
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Defaults are the pcpm options applied when an ingest or recompute
+	// request leaves a knob unset. The zero value means paper defaults.
+	Defaults pcpm.Options
+	// Logger receives request and recompute logs; nil discards them.
+	Logger *slog.Logger
+	// MaxUploadBytes caps POST /v1/graphs request bodies (default 1 GiB).
+	MaxUploadBytes int64
+}
+
+// Server owns the graph registry and serves rank queries. Create one with
+// New; the zero value is not usable.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	started time.Time
+
+	mu     sync.RWMutex // guards graphs map (not entry contents)
+	graphs map[string]*entry
+
+	// computeFn runs one PageRank computation; tests substitute it to make
+	// in-flight recomputes observable and deterministic.
+	computeFn func(*graph.Graph, pcpm.Options) (*pcpm.Result, error)
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 1 << 30
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	return &Server{
+		cfg:       cfg,
+		log:       log,
+		started:   time.Now(),
+		graphs:    make(map[string]*entry),
+		computeFn: pcpm.Run,
+	}
+}
+
+// GraphInfo is the JSON-facing summary of one registered graph.
+type GraphInfo struct {
+	Name        string      `json:"name"`
+	Nodes       int         `json:"nodes"`
+	Edges       int64       `json:"edges"`
+	AvgDegree   float64     `json:"avg_degree"`
+	Dangling    int         `json:"dangling"`
+	Method      pcpm.Method `json:"method"`
+	Iterations  int         `json:"iterations"`
+	Delta       float64     `json:"delta"`
+	Version     uint64      `json:"version"`
+	ComputedAt  time.Time   `json:"computed_at"`
+	ComputeMS   float64     `json:"compute_ms"`
+	Recomputing bool        `json:"recomputing"`
+	LastError   string      `json:"last_error,omitempty"`
+}
+
+func (e *entry) info() GraphInfo {
+	snap := e.snap.Load()
+	e.mu.Lock()
+	recomputing := e.inflight != nil
+	lastErr := e.lastErr
+	e.mu.Unlock()
+	return GraphInfo{
+		Name:        e.name,
+		Nodes:       e.stats.Nodes,
+		Edges:       e.stats.Edges,
+		AvgDegree:   e.stats.AvgDegree,
+		Dangling:    e.stats.Dangling,
+		Method:      snap.Method,
+		Iterations:  snap.Iterations,
+		Delta:       snap.Delta,
+		Version:     snap.Version,
+		ComputedAt:  snap.ComputedAt,
+		ComputeMS:   float64(snap.ComputeTime) / float64(time.Millisecond),
+		Recomputing: recomputing,
+		LastError:   lastErr,
+	}
+}
+
+// AddGraph registers g under name, computes its ranks synchronously with
+// opts (zero fields fall back to the server defaults), and publishes the
+// first snapshot. It fails with ErrExists unless replace is set; the check
+// runs before the engine does, so a duplicate name cannot burn a compute.
+//
+// Replacing continues the old entry's version sequence so clients using the
+// version as a freshness cursor never see it go backwards. Like Remove, a
+// replace orphans any in-flight recompute of the old entry: that run still
+// finishes (a waiting caller gets its result), but no query will serve it.
+func (s *Server) AddGraph(name string, g *graph.Graph, opts pcpm.Options, replace bool) (GraphInfo, error) {
+	if !ValidName(name) {
+		return GraphInfo{}, fmt.Errorf("serve: invalid graph name %q", name)
+	}
+	if !replace {
+		s.mu.RLock()
+		_, exists := s.graphs[name]
+		s.mu.RUnlock()
+		if exists {
+			return GraphInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
+		}
+	}
+	opts = s.fillDefaults(opts)
+	e := &entry{name: name, g: g, stats: g.ComputeStats()}
+	snap, err := s.compute(e, g, opts)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+
+	s.mu.Lock()
+	if old, ok := s.graphs[name]; ok {
+		if !replace {
+			s.mu.Unlock()
+			return GraphInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
+		}
+		// snap is not yet published, so adjusting its version is safe.
+		snap.Version = old.version.Load() + 1
+		e.version.Store(snap.Version)
+	}
+	e.snap.Store(snap)
+	s.graphs[name] = e
+	s.mu.Unlock()
+
+	s.log.Info("graph loaded", "graph", name, "nodes", e.stats.Nodes,
+		"edges", e.stats.Edges, "method", snap.Method, "compute", snap.ComputeTime)
+	return e.info(), nil
+}
+
+// Remove drops name from the registry. An in-flight recompute for it may
+// still finish, but its result becomes unreachable.
+func (s *Server) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(s.graphs, name)
+	return nil
+}
+
+// List returns every registered graph's info, sorted by name.
+func (s *Server) List() []GraphInfo {
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	infos := make([]GraphInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = e.info()
+	}
+	return infos
+}
+
+// Info returns one graph's info.
+func (s *Server) Info(name string) (GraphInfo, error) {
+	e, err := s.lookup(name)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return e.info(), nil
+}
+
+// NumGraphs returns the registry size.
+func (s *Server) NumGraphs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.graphs)
+}
+
+// Uptime reports how long the server has existed.
+func (s *Server) Uptime() time.Duration { return time.Since(s.started) }
+
+// TopK returns the k highest-ranked nodes of name's current snapshot. The
+// read is a single atomic pointer load; it never blocks on recomputes.
+func (s *Server) TopK(name string, k int) ([]pcpm.RankEntry, *Snapshot, error) {
+	e, err := s.lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := e.snap.Load()
+	return snap.TopK(k), snap, nil
+}
+
+// Rank returns one vertex's rank from name's current snapshot.
+func (s *Server) Rank(name string, vertex uint32) (float32, *Snapshot, error) {
+	e, err := s.lookup(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	snap := e.snap.Load()
+	if int64(vertex) >= int64(len(snap.Ranks)) {
+		return 0, nil, fmt.Errorf("serve: vertex %d out of range [0,%d)", vertex, len(snap.Ranks))
+	}
+	return snap.Ranks[vertex], snap, nil
+}
+
+// RecomputeStatus reports how a Recompute request was handled.
+type RecomputeStatus struct {
+	// Started is true when this request launched the engine run; false when
+	// it coalesced onto a run already in flight (whose options win).
+	Started bool
+	// Snapshot is the published result when the caller waited, nil otherwise.
+	Snapshot *Snapshot
+}
+
+// Overrides selectively replace fields of a graph's current options for a
+// recompute. Nil fields inherit the value that produced the graph's latest
+// snapshot, so a recompute never silently reverts engine configuration the
+// graph was ingested with.
+type Overrides struct {
+	Method               *pcpm.Method
+	Damping              *float64
+	Iterations           *int
+	Tolerance            *float64
+	PartitionBytes       *int
+	Workers              *int
+	RedistributeDangling *bool
+	CompactIDs           *bool
+}
+
+// Validate rejects override values the engines would refuse, wrapping
+// ErrInvalidOptions so callers can surface them as client errors before a
+// run is scheduled.
+func (o Overrides) Validate() error {
+	if o.Method != nil {
+		valid := false
+		for _, m := range pcpm.Methods() {
+			valid = valid || m == *o.Method
+		}
+		if !valid {
+			return fmt.Errorf("%w: unknown method %q", ErrInvalidOptions, *o.Method)
+		}
+	}
+	if o.Damping != nil && (*o.Damping <= 0 || *o.Damping >= 1) {
+		return fmt.Errorf("%w: damping %v outside (0,1)", ErrInvalidOptions, *o.Damping)
+	}
+	if o.Iterations != nil && *o.Iterations < 0 {
+		return fmt.Errorf("%w: negative iterations %d", ErrInvalidOptions, *o.Iterations)
+	}
+	if o.Tolerance != nil && *o.Tolerance < 0 {
+		return fmt.Errorf("%w: negative tolerance %v", ErrInvalidOptions, *o.Tolerance)
+	}
+	if o.PartitionBytes != nil &&
+		(*o.PartitionBytes < 4 || *o.PartitionBytes&(*o.PartitionBytes-1) != 0) {
+		return fmt.Errorf("%w: partition size %d not a power of two >= 4", ErrInvalidOptions, *o.PartitionBytes)
+	}
+	if o.Workers != nil && *o.Workers < 0 {
+		return fmt.Errorf("%w: negative workers %d", ErrInvalidOptions, *o.Workers)
+	}
+	return nil
+}
+
+func (o Overrides) apply(base pcpm.Options) pcpm.Options {
+	if o.Method != nil {
+		base.Method = *o.Method
+	}
+	if o.Damping != nil {
+		base.Damping = *o.Damping
+	}
+	if o.Iterations != nil {
+		base.Iterations = *o.Iterations
+		base.Tolerance = 0 // explicit iteration count turns off convergence mode
+	}
+	if o.Tolerance != nil {
+		base.Tolerance = *o.Tolerance
+	}
+	if o.PartitionBytes != nil {
+		base.PartitionBytes = *o.PartitionBytes
+	}
+	if o.Workers != nil {
+		base.Workers = *o.Workers
+	}
+	if o.RedistributeDangling != nil {
+		base.RedistributeDangling = *o.RedistributeDangling
+	}
+	if o.CompactIDs != nil {
+		base.CompactIDs = *o.CompactIDs
+	}
+	return base
+}
+
+// Recompute re-runs PageRank for name with the graph's current options plus
+// ov's overrides. If a recompute is already in flight the request coalesces
+// onto it (the in-flight run's options take precedence; this is deliberate —
+// coalescing exists to shed duplicate load). With wait set the call blocks
+// until the run completes and returns its error; otherwise it returns
+// immediately after scheduling.
+func (s *Server) Recompute(name string, ov Overrides, wait bool) (RecomputeStatus, error) {
+	e, err := s.lookup(name)
+	if err != nil {
+		return RecomputeStatus{}, err
+	}
+	if err := ov.Validate(); err != nil {
+		return RecomputeStatus{}, err
+	}
+	opts := ov.apply(e.snap.Load().Options)
+
+	e.mu.Lock()
+	run := e.inflight
+	started := run == nil
+	if started {
+		run = &inflightRun{done: make(chan struct{})}
+		e.inflight = run
+		go s.runRecompute(e, run, opts)
+	}
+	e.mu.Unlock()
+
+	st := RecomputeStatus{Started: started}
+	if !wait {
+		return st, nil
+	}
+	<-run.done
+	if run.err != nil {
+		return st, run.err
+	}
+	st.Snapshot = e.snap.Load()
+	return st, nil
+}
+
+// runRecompute executes one coalesced engine run and publishes the result.
+func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
+	snap, err := s.compute(e, e.g, opts)
+	if err == nil {
+		e.snap.Store(snap)
+		s.log.Info("recompute done", "graph", e.name, "version", snap.Version,
+			"method", snap.Method, "iterations", snap.Iterations, "compute", snap.ComputeTime)
+	} else {
+		s.log.Error("recompute failed", "graph", e.name, "error", err)
+	}
+	e.mu.Lock()
+	e.inflight = nil
+	if err != nil {
+		e.lastErr = err.Error()
+	} else {
+		e.lastErr = ""
+	}
+	e.mu.Unlock()
+	run.err = err
+	close(run.done)
+}
+
+// compute runs the engine and wraps the result in an unpublished Snapshot.
+func (s *Server) compute(e *entry, g *graph.Graph, opts pcpm.Options) (*Snapshot, error) {
+	start := time.Now()
+	res, err := s.computeFn(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{
+		Ranks:       res.Ranks,
+		Options:     opts,
+		Method:      res.Method,
+		Iterations:  res.Iterations,
+		Delta:       res.Delta,
+		Version:     e.version.Add(1),
+		ComputedAt:  time.Now(),
+		ComputeTime: time.Since(start),
+	}
+	snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+	return snap, nil
+}
+
+// fillDefaults overlays the server-wide default options onto opts.
+func (s *Server) fillDefaults(opts pcpm.Options) pcpm.Options {
+	d := s.cfg.Defaults
+	if opts.Method == "" {
+		opts.Method = d.Method
+	}
+	if opts.Damping == 0 {
+		opts.Damping = d.Damping
+	}
+	if opts.PartitionBytes == 0 {
+		opts.PartitionBytes = d.PartitionBytes
+	}
+	if opts.Workers == 0 {
+		opts.Workers = d.Workers
+	}
+	// An explicitly requested iteration count means fixed-iteration mode:
+	// only overlay the default tolerance when neither knob was set, so a
+	// server-wide -tol cannot silently override a request's ?iterations=.
+	explicitIters := opts.Iterations != 0
+	if !explicitIters {
+		opts.Iterations = d.Iterations
+	}
+	if opts.Tolerance == 0 && !explicitIters {
+		opts.Tolerance = d.Tolerance
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = d.MaxIterations
+	}
+	return opts
+}
+
+func (s *Server) lookup(name string) (*entry, error) {
+	s.mu.RLock()
+	e, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e, nil
+}

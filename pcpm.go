@@ -19,6 +19,7 @@
 package pcpm
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"time"
@@ -170,6 +171,14 @@ type RankEntry = core.RankEntry
 // TopK returns the k highest-ranked nodes in descending order.
 func TopK(ranks []float32, k int) []RankEntry { return core.TopK(ranks, k) }
 
+// Graph re-exports the graph substrate's immutable CSR/CSC graph so facade
+// consumers (and the serving layer) need not import internal packages.
+type Graph = graph.Graph
+
+// GraphStats re-exports the graph summary record (nodes, edges, degree
+// extremes, dangling count).
+type GraphStats = graph.Stats
+
 // NewGraphBuilder returns a builder for assembling a graph edge by edge.
 func NewGraphBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
 
@@ -177,6 +186,27 @@ func NewGraphBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
 // inferred from the largest ID.
 func LoadEdgeList(r io.Reader) (*graph.Graph, error) {
 	return graph.ReadEdgeList(r, graph.BuildOptions{})
+}
+
+// LoadGraph reads a graph in either supported format, sniffing the binary
+// magic from the stream's first bytes rather than trusting a file extension.
+// Anything that is not the binary format is parsed as a text edge list; an
+// empty stream is an error (a likely client mistake), not an empty graph.
+func LoadGraph(r io.Reader) (*graph.Graph, error) {
+	// A small buffer suffices for the 8-byte sniff; the format readers do
+	// their own bulk buffering (ReadBinary reuses this *bufio.Reader).
+	br := bufio.NewReaderSize(r, 4096)
+	head, err := br.Peek(8)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("pcpm: sniffing graph format: %w", err)
+	}
+	if len(head) == 0 {
+		return nil, fmt.Errorf("pcpm: empty graph stream")
+	}
+	if graph.SniffBinary(head) {
+		return graph.ReadBinary(br)
+	}
+	return graph.ReadEdgeList(br, graph.BuildOptions{})
 }
 
 // LoadBinary reads a graph in the repo's binary format.

@@ -124,6 +124,39 @@ func TestFacadeIO(t *testing.T) {
 	}
 }
 
+func TestLoadGraphSniffsFormat(t *testing.T) {
+	g := facadeGraph(t)
+	var bin, txt bytes.Buffer
+	if err := SaveBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := LoadGraph(&bin)
+	if err != nil {
+		t.Fatalf("LoadGraph(binary): %v", err)
+	}
+	if !g.Equal(gb) {
+		t.Fatal("LoadGraph(binary) changed graph")
+	}
+	gt, err := LoadGraph(strings.NewReader(txt.String()))
+	if err != nil {
+		t.Fatalf("LoadGraph(text): %v", err)
+	}
+	if gt.NumEdges() != g.NumEdges() {
+		t.Fatal("LoadGraph(text) changed edge count")
+	}
+	if _, err := LoadGraph(strings.NewReader("")); err == nil {
+		t.Fatal("LoadGraph accepted an empty stream")
+	}
+	// Shorter than the 8-byte magic but still a valid edge list.
+	tiny, err := LoadGraph(strings.NewReader("1 2"))
+	if err != nil || tiny.NumEdges() != 1 {
+		t.Fatalf("LoadGraph(tiny text) = %v, %v", tiny, err)
+	}
+}
+
 func TestBuilderThroughFacade(t *testing.T) {
 	b := NewGraphBuilder(3)
 	b.AddEdge(0, 1)
