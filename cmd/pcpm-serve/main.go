@@ -8,8 +8,13 @@
 //	pcpm-serve -addr :8080 -graph web=web.bin -graph kron=kron.txt
 //	curl -XPOST --data-binary @edges.txt 'localhost:8080/v1/graphs?name=mine'
 //	curl 'localhost:8080/v1/graphs/mine/topk?k=5'
+//	curl -XPOST 'localhost:8080/v1/graphs/mine/ppr' -d '{"seeds":[42],"k":10}'
 //	curl -XPOST 'localhost:8080/v1/graphs/mine/recompute?wait=true' \
 //	     -d '{"damping":0.9}'
+//
+// Graph uploads are capped by -max-upload (default 1 GiB); larger bodies
+// get 413 Request Entity Too Large. Personalized PageRank answers are
+// cached per graph in an LRU sized by -ppr-cache.
 package main
 
 import (
@@ -38,8 +43,10 @@ func main() {
 		damping   = flag.Float64("damping", 0.85, "default damping factor")
 		partBytes = flag.Int("partition", 256<<10, "default partition/bin size in bytes")
 		workers   = flag.Int("workers", 0, "default worker count (0 = GOMAXPROCS)")
-		maxUpload = flag.Int64("max-upload", 1<<30, "largest accepted graph upload in bytes")
-		verbose   = flag.Bool("v", false, "debug logging")
+		maxUpload = flag.Int64("max-upload", 1<<30,
+			"largest accepted graph upload in bytes; POST /v1/graphs bodies past this are rejected with 413 Request Entity Too Large")
+		pprCache = flag.Int("ppr-cache", 128, "personalized-PageRank answers cached per graph (LRU)")
+		verbose  = flag.Bool("v", false, "debug logging")
 	)
 	var preload []string
 	flag.Func("graph", "preload a graph as name=path (repeatable)", func(v string) error {
@@ -68,6 +75,7 @@ func main() {
 		},
 		Logger:         logger,
 		MaxUploadBytes: *maxUpload,
+		PPRCacheSize:   *pprCache,
 	})
 
 	for _, spec := range preload {

@@ -8,14 +8,14 @@ import (
 	"repro/internal/png"
 )
 
-// TestPaperFig4ScatterStream reproduces the paper's Fig. 4b byte-for-byte:
+// TestGoldenPaperFig4ScatterStream reproduces the paper's Fig. 4b byte-for-byte:
 // scattering partition P2 = {6, 7, 8} of the Fig. 3a graph into bin 0 must
 // produce exactly two updates (PR[6], PR[7]) — not the four updates
 // (PR[6], PR[7], PR[7], PR[7]) that Vertex-centric GAS would send (Fig. 4a)
 // — paired with the MSB-tagged destination stream {2*, 0*, 1, 2*}
 // (* = MSB set), where node 7's first edge into P0 (node 2, from edge 7→2)
 // opens its run.
-func TestPaperFig4ScatterStream(t *testing.T) {
+func TestGoldenPaperFig4ScatterStream(t *testing.T) {
 	edges := []graph.Edge{
 		{Src: 3, Dst: 2}, {Src: 6, Dst: 0}, {Src: 6, Dst: 1}, {Src: 7, Dst: 2},
 		{Src: 0, Dst: 4}, {Src: 1, Dst: 3}, {Src: 1, Dst: 4}, {Src: 2, Dst: 5},

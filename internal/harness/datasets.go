@@ -1,8 +1,16 @@
 // Package harness wires the substrate packages into the paper's
-// experiments: it defines scaled analogs of the six evaluation datasets and
-// one runner per table and figure of the evaluation section (§5). Each
-// runner returns a rendered Table carrying both the measured values and,
-// where the paper reports numbers, the paper's values for comparison.
+// evaluation (§5): it defines scaled generator analogs of the six
+// evaluation datasets (Table 4) and one runner per table and figure —
+// execution-time splits (Table 5, Figs. 7, 13–14), DRAM traffic and
+// locality studies via memsim (Tables 6–7, Figs. 1, 8–12), analytical
+// model sweeps via model (Fig. 6), and pre-processing cost (Table 8) —
+// plus runners for the §6 extensions (compact IDs, edge-balanced
+// partitions) and design-choice ablations. Each runner returns a rendered
+// Table carrying the measured values next to the paper's published
+// numbers where they exist, so drift from the reproduction target is
+// visible at a glance. Registry lists every runner by its paper ID;
+// cmd/pcpm-bench is the CLI front end, and docs/PAPER_MAPPING.md maps the
+// IDs back to the paper.
 package harness
 
 import (

@@ -1,7 +1,13 @@
 // Package model implements the paper's analytical performance models (§4):
 // closed-form DRAM communication volumes for PDPR, BVGAS and PCPM
-// (eqs. 3–5), the cache-miss-ratio crossover thresholds (eqs. 6–7), and the
-// random-access counts (eqs. 8–10). Parameter names follow Table 2.
+// (eqs. 3–5), the cache-miss-ratio crossover thresholds at which PCPM's
+// two-phase traffic beats the baselines (eqs. 6–7), and the random- (DRAM
+// row-activating) access counts (eqs. 8–10). Parameter names follow the
+// paper's Table 2 — n vertices, m edges, k partitions, compression ratio
+// r = |E|/|E'| — so a formula here reads like the paper's. The harness
+// plots these predictions against memsim's measured traffic (Fig. 6) to
+// check that the reproduction's engines behave as the paper's closed
+// forms say they must.
 package model
 
 // Params are the model inputs of Table 2.

@@ -1,0 +1,631 @@
+// Package ppr implements Personalized PageRank via residual-based forward
+// push with a partition-centric frontier, extending the PCPM discipline of
+// Lakhotia et al. (USENIX ATC 2018) to per-user rank vectors.
+//
+// Forward push (Andersen, Chung, Lang 2006; parallelized along the lines of
+// Zhang et al. 2023, "Two Parallel PageRank Algorithms via Improving Forward
+// Push") maintains an estimate p and a residual r with the invariant
+//
+//	ppr(s) = p + Σ_v r[v] · ppr(e_v)
+//
+// so the L1 error of p is bounded by the remaining residual mass. Each push
+// of vertex v moves α·r[v] into p[v] and spreads (1−α)·r[v] across v's
+// out-neighbors, where α = 1−damping is the teleport probability. Dangling
+// residual mass teleports back to the seed distribution, matching the dense
+// power-iteration fixed point
+//
+//	p = α·s + (1−α)·(Aᵀ D⁻¹ + dangling·sᵀ) p.
+//
+// Instead of a global priority queue or per-vertex atomics, the engine keeps
+// one frontier bin per cache-sized partition (reusing partition.Layout, §3.1
+// of the paper) and alternates PCPM-style scatter/gather rounds scheduled
+// with par.ForDynamicWorker: scatter drains a partition's active residuals
+// into per-(worker, destination-partition) update buffers, gather applies
+// each destination partition's updates with exclusive ownership — no atomics,
+// and a partition's residual range stays cache-resident while it drains.
+// When the frontier grows past a configurable fraction of the vertices the
+// round falls back to a dense residual power iteration (a full pull over
+// CSC), which touches every edge once and is cheaper than sparse bookkeeping
+// on dense frontiers.
+//
+// Estimates and residuals are accumulated in float64 — unlike the global
+// engines, which follow the paper's 4-byte values — because per-query PPR
+// scores span many orders of magnitude and the golden tests hold push and
+// power iteration to 1e-6 L1 agreement.
+package ppr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// Defaults mirroring the global engines where the concepts coincide.
+const (
+	// DefaultDamping is the paper-wide damping factor d; the push teleport
+	// probability is α = 1 − d.
+	DefaultDamping = 0.85
+	// DefaultEpsilon is the default L1 termination threshold: the engine
+	// stops once the residual mass it could still deliver is below this.
+	DefaultEpsilon = 1e-7
+	// DefaultPartitionBytes matches core.DefaultPartitionBytes (256 KB of
+	// 4-byte values = 64K nodes per frontier bin).
+	DefaultPartitionBytes = 256 << 10
+	// DefaultDenseFraction is the frontier share of |V| beyond which a round
+	// switches from sparse partition-centric push to the dense pull fallback.
+	DefaultDenseFraction = 0.125
+	// DefaultMaxRounds caps the scatter/gather rounds of one query.
+	DefaultMaxRounds = 10000
+)
+
+// Options configure a personalized PageRank computation. The zero value
+// selects the defaults above.
+type Options struct {
+	// Damping is the PageRank damping factor d (default 0.85); the push
+	// teleport probability is α = 1 − d.
+	Damping float64
+	// Epsilon terminates the computation once the total residual mass —
+	// an upper bound on the L1 error of the returned scores — drops below
+	// it (default 1e-7).
+	Epsilon float64
+	// TopK, when positive, fills Result.Top with the K highest-scoring
+	// vertices.
+	TopK int
+	// TopOnly skips materializing Result.Scores (an O(n) copy per query),
+	// for callers that consume only Result.Top — the serving layer does.
+	// Requires TopK > 0.
+	TopOnly bool
+	// PartitionBytes sets the frontier-bin width in bytes of 4-byte vertex
+	// values, exactly like the global engines; must be a power of two
+	// (default 256 KB).
+	PartitionBytes int
+	// Workers bounds parallelism (default GOMAXPROCS).
+	Workers int
+	// DenseFraction is the active-vertex share of |V| at which a round
+	// uses the dense power-iteration fallback instead of sparse push
+	// (default 0.125). Set >= 1 to force sparse rounds, or negative to
+	// force every round dense.
+	DenseFraction float64
+	// MaxRounds caps scatter/gather rounds per query (default 10000); the
+	// engine returns its current estimate and ResidualL1 when hit.
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = DefaultDamping
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = DefaultEpsilon
+	}
+	if o.PartitionBytes == 0 {
+		o.PartitionBytes = DefaultPartitionBytes
+	}
+	if o.DenseFraction == 0 {
+		o.DenseFraction = DefaultDenseFraction
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = DefaultMaxRounds
+	}
+	o.Workers = par.Workers(o.Workers)
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		return fmt.Errorf("ppr: damping %v outside (0,1)", o.Damping)
+	}
+	if o.Epsilon <= 0 {
+		return fmt.Errorf("ppr: epsilon %v must be positive", o.Epsilon)
+	}
+	if o.TopK < 0 {
+		return fmt.Errorf("ppr: negative topk %d", o.TopK)
+	}
+	if o.TopOnly && o.TopK <= 0 {
+		return fmt.Errorf("ppr: TopOnly requires a positive TopK")
+	}
+	return nil
+}
+
+// Entry pairs a vertex with its personalized score.
+type Entry struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// Result is one completed personalized PageRank query.
+type Result struct {
+	// Scores is the full personalized rank vector, indexed by node. Scores
+	// sum to 1 − ResidualL1. Nil when Options.TopOnly was set.
+	Scores []float64
+	// Top holds the Options.TopK highest-scoring vertices in descending
+	// order (ties broken by node ID); nil when TopK was 0.
+	Top []Entry
+	// Rounds is the number of scatter/gather rounds executed; SparseRounds
+	// and DenseRounds split it by kind.
+	Rounds, SparseRounds, DenseRounds int
+	// Pushes counts vertex pushes across sparse rounds.
+	Pushes int64
+	// ResidualL1 is the undelivered residual mass at termination — an
+	// upper bound on the L1 distance to the exact answer.
+	ResidualL1 float64
+	// Duration is the wall-clock compute time of this query.
+	Duration time.Duration
+}
+
+// update is one buffered residual contribution bound for dst's partition.
+type update struct {
+	dst graph.NodeID
+	val float64
+}
+
+// Engine holds the per-graph scratch state of the push computation, so a
+// caller serving many queries over one graph reuses its allocations. An
+// Engine is NOT safe for concurrent Run calls; use one per goroutine (the
+// serving layer does) or the stateless package-level Run.
+type Engine struct {
+	g      *graph.Graph
+	opts   Options
+	layout partition.Layout
+
+	p, r   []float64 // estimate and residual, indexed by node
+	scaled []float64 // dense rounds: r[v]/outdeg(v) scratch
+	newr   []float64 // dense rounds: next residual scratch
+
+	frontier   [][]graph.NodeID // per-partition active-vertex bins
+	inFrontier []bool
+
+	// bufs[w][dp] is worker w's scatter output bound for partition dp.
+	bufs     [][][]update
+	dangling []float64 // per-worker dangling residual accumulators
+	pushes   []int64   // per-worker push counters
+}
+
+// New builds an Engine for g.
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("ppr: empty graph")
+	}
+	layout, err := partition.FromBytes(g.NumNodes(), opts.PartitionBytes)
+	if err != nil {
+		return nil, fmt.Errorf("ppr: %w", err)
+	}
+	n := g.NumNodes()
+	e := &Engine{
+		g:          g,
+		opts:       opts,
+		layout:     layout,
+		p:          make([]float64, n),
+		r:          make([]float64, n),
+		scaled:     make([]float64, n),
+		newr:       make([]float64, n),
+		frontier:   make([][]graph.NodeID, layout.K()),
+		inFrontier: make([]bool, n),
+		bufs:       make([][][]update, opts.Workers),
+		dangling:   make([]float64, opts.Workers),
+		pushes:     make([]int64, opts.Workers),
+	}
+	for w := range e.bufs {
+		e.bufs[w] = make([][]update, layout.K())
+	}
+	return e, nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// CanonicalSeeds validates and canonicalizes a seed set — sorted, unique,
+// in-range — the form that keys caches and defines the uniform seed
+// distribution. Exported so callers (the serving layer) share one
+// canonicalization instead of growing a drifting copy.
+func CanonicalSeeds(n int, seeds []graph.NodeID) ([]graph.NodeID, error) {
+	return normalizeSeeds(n, seeds)
+}
+
+// normalizeSeeds validates and canonicalizes a seed set: sorted, unique,
+// in-range. The seed distribution is uniform over the returned set.
+func normalizeSeeds(n int, seeds []graph.NodeID) ([]graph.NodeID, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("ppr: empty seed set")
+	}
+	out := make([]graph.NodeID, len(seeds))
+	copy(out, seeds)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:1]
+	for _, s := range out[1:] {
+		if s != uniq[len(uniq)-1] {
+			uniq = append(uniq, s)
+		}
+	}
+	for _, s := range uniq {
+		if int64(s) >= int64(n) {
+			return nil, fmt.Errorf("ppr: seed vertex %d out of range [0,%d)", s, n)
+		}
+	}
+	return uniq, nil
+}
+
+// Run computes the personalized PageRank vector for a uniform distribution
+// over seeds.
+func (e *Engine) Run(seeds []graph.NodeID) (*Result, error) {
+	start := time.Now()
+	seedSet, err := normalizeSeeds(e.g.NumNodes(), seeds)
+	if err != nil {
+		return nil, err
+	}
+	e.reset()
+	seedW := 1 / float64(len(seedSet))
+	var residual float64
+	for _, s := range seedSet {
+		e.addResidual(s, seedW)
+	}
+	residual = 1
+
+	res := &Result{}
+	alpha := 1 - e.opts.Damping
+	thresh := e.threshold()
+	for res.Rounds < e.opts.MaxRounds {
+		active := 0
+		for _, f := range e.frontier {
+			active += len(f)
+		}
+		if active == 0 || residual <= e.opts.Epsilon {
+			break
+		}
+		res.Rounds++
+		if float64(active) > e.opts.DenseFraction*float64(e.g.NumNodes()) {
+			res.DenseRounds++
+			residual = e.denseRound(alpha, thresh, seedSet, seedW)
+		} else {
+			res.SparseRounds++
+			residual -= e.sparseRound(alpha, thresh, seedSet, seedW)
+		}
+	}
+
+	if !e.opts.TopOnly {
+		res.Scores = make([]float64, len(e.p))
+		copy(res.Scores, e.p)
+	}
+	res.ResidualL1 = residualMass(e.r)
+	for _, c := range e.pushes {
+		res.Pushes += c
+	}
+	if e.opts.TopK > 0 {
+		res.Top = TopK(e.p, e.opts.TopK)
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// reset clears per-query state, keeping allocations.
+func (e *Engine) reset() {
+	for i := range e.p {
+		e.p[i] = 0
+		e.r[i] = 0
+		e.inFrontier[i] = false
+	}
+	for pi := range e.frontier {
+		e.frontier[pi] = e.frontier[pi][:0]
+	}
+	for w := range e.bufs {
+		for pi := range e.bufs[w] {
+			e.bufs[w][pi] = e.bufs[w][pi][:0]
+		}
+		e.dangling[w] = 0
+		e.pushes[w] = 0
+	}
+}
+
+// threshold is the per-vertex activation bar: with no vertex above it, the
+// total leftover residual is below Epsilon, which is the L1 guarantee.
+func (e *Engine) threshold() float64 {
+	return e.opts.Epsilon / float64(e.g.NumNodes())
+}
+
+// addResidual credits mass to v's residual and activates it if it crosses
+// the threshold. Callers must hold ownership of v's partition (or run
+// single-threaded).
+func (e *Engine) addResidual(v graph.NodeID, mass float64) {
+	e.r[v] += mass
+	if !e.inFrontier[v] && e.r[v] > e.threshold() {
+		e.inFrontier[v] = true
+		pi := e.layout.PartitionOf(v)
+		e.frontier[pi] = append(e.frontier[pi], v)
+	}
+}
+
+// sparseRound performs one partition-centric scatter/gather push round and
+// returns the mass delivered to the estimate (α × pushed residual).
+func (e *Engine) sparseRound(alpha, thresh float64, seeds []graph.NodeID, seedW float64) float64 {
+	g, k, workers := e.g, e.layout.K(), e.opts.Workers
+	outOff, outAdj := g.OutOffsets(), g.OutAdjacency()
+	shift := e.layout.Shift()
+	delivered := make([]float64, workers)
+
+	// Scatter: each partition's frontier is drained by exactly one worker,
+	// which owns p/r/inFrontier for that ID range and appends cross-partition
+	// contributions to its private buffers.
+	par.ForDynamicWorker(k, workers, func(w, sp int) {
+		bufs := e.bufs[w]
+		var dmass, dlv float64
+		var pushed int64
+		for _, v := range e.frontier[sp] {
+			e.inFrontier[v] = false
+			rv := e.r[v]
+			if rv <= thresh {
+				continue
+			}
+			e.r[v] = 0
+			e.p[v] += alpha * rv
+			dlv += alpha * rv
+			pushed++
+			lo, hi := outOff[v], outOff[v+1]
+			if lo == hi {
+				dmass += (1 - alpha) * rv
+				continue
+			}
+			share := (1 - alpha) * rv / float64(hi-lo)
+			for _, u := range outAdj[lo:hi] {
+				dp := int(u >> shift)
+				bufs[dp] = append(bufs[dp], update{dst: u, val: share})
+			}
+		}
+		e.frontier[sp] = e.frontier[sp][:0]
+		e.dangling[w] += dmass
+		e.pushes[w] += pushed
+		delivered[w] += dlv
+	})
+
+	// Gather: each destination partition applies every worker's buffered
+	// updates with exclusive ownership of its residual range — the same
+	// no-synchronization argument as the PCPM gather (Algorithm 4).
+	par.ForDynamic(k, workers, func(dp int) {
+		for w := 0; w < workers; w++ {
+			buf := e.bufs[w][dp]
+			for _, u := range buf {
+				e.r[u.dst] += u.val
+				if !e.inFrontier[u.dst] && e.r[u.dst] > thresh {
+					e.inFrontier[u.dst] = true
+					e.frontier[dp] = append(e.frontier[dp], u.dst)
+				}
+			}
+			e.bufs[w][dp] = buf[:0]
+		}
+	})
+
+	// Dangling residual teleports back to the seed distribution; seed sets
+	// are tiny, so this runs serially after the parallel phases.
+	var dmass float64
+	for w := range e.dangling {
+		dmass += e.dangling[w]
+		e.dangling[w] = 0
+	}
+	if dmass > 0 {
+		for _, s := range seeds {
+			e.addResidual(s, dmass*seedW)
+		}
+	}
+	var total float64
+	for _, d := range delivered {
+		total += d
+	}
+	return total
+}
+
+// denseRound performs one residual power iteration — push every vertex at
+// once via a pull over CSC — and returns the remaining residual mass. It is
+// the fallback for frontiers too dense for sparse bookkeeping to pay off.
+func (e *Engine) denseRound(alpha, thresh float64, seeds []graph.NodeID, seedW float64) float64 {
+	g, workers := e.g, e.opts.Workers
+	n := g.NumNodes()
+	inOff, inAdj := g.InOffsets(), g.InAdjacency()
+	outOff := g.OutOffsets()
+	dmassW := make([]float64, workers)
+
+	// Deliver α·r into the estimate and scale residuals by out-degree for
+	// the pull; collect dangling residual on the side.
+	par.ForRanges(staticBounds(n, workers), func(w, lo, hi int) {
+		var dmass float64
+		for v := lo; v < hi; v++ {
+			rv := e.r[v]
+			e.p[v] += alpha * rv
+			if deg := outOff[v+1] - outOff[v]; deg > 0 {
+				e.scaled[v] = rv / float64(deg)
+			} else {
+				e.scaled[v] = 0
+				dmass += rv
+			}
+		}
+		dmassW[w] = dmass
+	})
+	var dmass float64
+	for _, d := range dmassW {
+		dmass += d
+	}
+
+	par.ForRanges(staticBounds(n, workers), func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var sum float64
+			for _, u := range inAdj[inOff[v]:inOff[v+1]] {
+				sum += e.scaled[u]
+			}
+			e.newr[v] = (1 - alpha) * sum
+		}
+	})
+	e.r, e.newr = e.newr, e.r
+	for _, s := range seeds {
+		e.r[s] += (1 - alpha) * dmass * seedW
+	}
+
+	// Rebuild the frontier bins from scratch: one owner per partition.
+	residW := make([]float64, workers)
+	par.ForDynamicWorker(e.layout.K(), workers, func(w, pi int) {
+		lo, hi := e.layout.Bounds(pi)
+		f := e.frontier[pi][:0]
+		var resid float64
+		for v := lo; v < hi; v++ {
+			resid += e.r[v]
+			if e.r[v] > thresh {
+				e.inFrontier[v] = true
+				f = append(f, v)
+			} else {
+				e.inFrontier[v] = false
+			}
+		}
+		e.frontier[pi] = f
+		residW[w] += resid
+	})
+	var resid float64
+	for _, rr := range residW {
+		resid += rr
+	}
+	return resid
+}
+
+// staticBounds splits [0, n) into one contiguous range per worker, in the
+// []int bounds form par.ForRanges consumes.
+func staticBounds(n, workers int) []int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b := make([]int, workers+1)
+	for w := 1; w <= workers; w++ {
+		b[w] = w * n / workers
+	}
+	return b
+}
+
+func residualMass(r []float64) float64 {
+	var total float64
+	for _, v := range r {
+		total += v
+	}
+	return total
+}
+
+// TopK returns the k highest-scoring vertices in descending score order
+// (ties broken by node ID for determinism). It keeps a k-sized min-heap
+// over one pass of the scores — O(n log k), not a full O(n log n) sort —
+// because serving-path queries extract a handful of entries from vectors
+// with millions of nodes.
+func TopK(scores []float64, k int) []Entry {
+	if k > len(scores) {
+		k = len(scores)
+	}
+	if k <= 0 {
+		return []Entry{}
+	}
+	// worse reports whether a ranks below b in the final ordering; the heap
+	// root is always the current worst of the kept k.
+	worse := func(a, b Entry) bool {
+		if a.Score != b.Score {
+			return a.Score < b.Score
+		}
+		return a.Node > b.Node
+	}
+	h := make([]Entry, 0, k)
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if c+1 < len(h) && worse(h[c+1], h[c]) {
+				c++
+			}
+			if !worse(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i, s := range scores {
+		e := Entry{Node: graph.NodeID(i), Score: s}
+		if len(h) < k {
+			h = append(h, e)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+			continue
+		}
+		if worse(e, h[0]) {
+			continue
+		}
+		h[0] = e
+		siftDown(0)
+	}
+	sort.Slice(h, func(i, j int) bool { return worse(h[j], h[i]) })
+	return h
+}
+
+// Run is the stateless single-query entry point: it builds an Engine,
+// runs one seed set, and discards the scratch state.
+func Run(g *graph.Graph, seeds []graph.NodeID, opts Options) (*Result, error) {
+	e, err := New(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(seeds)
+}
+
+// RunBatch evaluates many seed sets over one graph. Queries are scheduled
+// dynamically across the configured workers with each query running
+// single-threaded — for batch workloads, cross-query parallelism beats
+// intra-query parallelism because queries skew wildly in frontier size.
+// Results are positionally aligned with the input; a query whose seed set
+// is invalid fails the whole batch (callers validate seeds upfront to
+// avoid burning the batch).
+func RunBatch(g *graph.Graph, seedSets [][]graph.NodeID, opts Options) ([]*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	for i, seeds := range seedSets {
+		if _, err := normalizeSeeds(g.NumNodes(), seeds); err != nil {
+			return nil, fmt.Errorf("ppr: batch query %d: %w", i, err)
+		}
+	}
+	workers := opts.Workers
+	queryOpts := opts
+	queryOpts.Workers = 1
+	results := make([]*Result, len(seedSets))
+	errs := make([]error, len(seedSets))
+	// One lazily-built engine per worker: each worker reuses its scratch
+	// state (five O(n) slices plus frontier bins) across all the queries it
+	// drains, instead of reallocating per query.
+	engines := make([]*Engine, par.Workers(workers))
+	par.ForDynamicWorker(len(seedSets), workers, func(w, i int) {
+		if engines[w] == nil {
+			e, err := New(g, queryOpts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			engines[w] = e
+		}
+		results[i], errs[i] = engines[w].Run(seedSets[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -21,6 +21,7 @@ import (
 //	DELETE /v1/graphs/{name}               drop a graph
 //	GET    /v1/graphs/{name}/topk?k=K      top-K ranked nodes
 //	GET    /v1/graphs/{name}/rank/{vertex} one vertex's rank
+//	POST   /v1/graphs/{name}/ppr           personalized PageRank (single or batch seeds)
 //	POST   /v1/graphs/{name}/recompute     re-run the engine (JSON options)
 //
 // The handler chain wraps the mux with panic recovery and request logging.
@@ -33,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
 	mux.HandleFunc("GET /v1/graphs/{name}/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/graphs/{name}/rank/{vertex}", s.handleRank)
+	mux.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
 	mux.HandleFunc("POST /v1/graphs/{name}/recompute", s.handleRecompute)
 	// recoverer sits inside the logger so a panicking request still gets an
 	// access-log line (with the 500 the recoverer writes).
@@ -177,6 +179,72 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		"rank":    rank,
 		"method":  snap.Method,
 		"version": snap.Version,
+	})
+}
+
+// pprRequest is the JSON body of POST .../ppr: exactly one of seeds (a
+// single query) or batch (many queries) must be set. k and epsilon apply to
+// every query in the request; zero values mean the server defaults (k=10,
+// engine epsilon). Damping is inherited from the graph's current snapshot
+// options, keeping personalized and global ranks comparable. Requests are
+// untrusted, so the server enforces abuse limits (batch size, seeds per
+// query, k; epsilon is clamped to a precision floor) — see the limit
+// constants in ppr.go.
+type pprRequest struct {
+	Seeds   []uint32   `json:"seeds,omitempty"`
+	Batch   [][]uint32 `json:"batch,omitempty"`
+	K       int        `json:"k,omitempty"`
+	Epsilon float64    `json:"epsilon,omitempty"`
+}
+
+func (s *Server) handlePPR(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req pprRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+		return
+	}
+	if (len(req.Seeds) > 0) == (len(req.Batch) > 0) {
+		writeError(w, http.StatusBadRequest, `want exactly one of "seeds" or "batch"`)
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "bad k: want a non-negative integer")
+		return
+	}
+	if req.Epsilon < 0 {
+		writeError(w, http.StatusBadRequest, "bad epsilon: want a non-negative number")
+		return
+	}
+	queries := req.Batch
+	single := len(req.Seeds) > 0
+	if single {
+		queries = [][]uint32{req.Seeds}
+	}
+	answers, err := s.Personalized(name, queries, req.K, req.Epsilon)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrBadSeeds), errors.Is(err, ErrInvalidOptions):
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	if single {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graph":  name,
+			"result": answers[0],
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph":   name,
+		"results": answers,
 	})
 }
 

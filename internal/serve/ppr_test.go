@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	pcpm "repro"
+)
+
+// pprResultJSON mirrors the wire form of one answer for decoding.
+type pprResultJSON struct {
+	Seeds  []uint32 `json:"seeds"`
+	K      int      `json:"k"`
+	Scores []struct {
+		Node  uint32  `json:"node"`
+		Score float64 `json:"score"`
+	} `json:"scores"`
+	Rounds     int     `json:"rounds"`
+	ResidualL1 float64 `json:"residual_l1"`
+	Cached     bool    `json:"cached"`
+}
+
+func TestPPRSingleAndCache(t *testing.T) {
+	s, ts := newTestServer(t)
+	ingest(t, ts, "g", edgeListBody(t, testGraph(t)))
+
+	body := []byte(`{"seeds":[3,1,3],"k":5}`)
+	var resp struct {
+		Graph  string        `json:"graph"`
+		Result pprResultJSON `json:"result"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", body, &resp); code != http.StatusOK {
+		t.Fatalf("ppr status %d", code)
+	}
+	r := resp.Result
+	if r.Cached {
+		t.Fatal("first query reported cached")
+	}
+	if len(r.Scores) != 5 || r.K != 5 {
+		t.Fatalf("got %d scores, k=%d, want 5", len(r.Scores), r.K)
+	}
+	// Seeds canonicalize: sorted, deduplicated.
+	if len(r.Seeds) != 2 || r.Seeds[0] != 1 || r.Seeds[1] != 3 {
+		t.Fatalf("canonical seeds = %v, want [1 3]", r.Seeds)
+	}
+	for i := 1; i < len(r.Scores); i++ {
+		if r.Scores[i].Score > r.Scores[i-1].Score {
+			t.Fatal("scores not descending")
+		}
+	}
+
+	// The same seed set in any order and multiplicity is a cache hit.
+	var resp2 struct {
+		Result pprResultJSON `json:"result"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(`{"seeds":[1,3],"k":5}`), &resp2); code != http.StatusOK {
+		t.Fatalf("repeat ppr status %d", code)
+	}
+	if !resp2.Result.Cached {
+		t.Fatal("repeat query missed the cache")
+	}
+	if resp2.Result.Scores[0] != r.Scores[0] {
+		t.Fatal("cached answer differs from original")
+	}
+	if n, err := s.PPRCacheLen("g"); err != nil || n != 1 {
+		t.Fatalf("cache len = %d (%v), want 1", n, err)
+	}
+
+	// A different k is a different query, not a stale hit.
+	var resp3 struct {
+		Result pprResultJSON `json:"result"`
+	}
+	doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(`{"seeds":[1,3],"k":7}`), &resp3)
+	if resp3.Result.Cached || len(resp3.Result.Scores) != 7 {
+		t.Fatalf("k=7 query: cached=%v scores=%d", resp3.Result.Cached, len(resp3.Result.Scores))
+	}
+}
+
+func TestPPRBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "g", edgeListBody(t, testGraph(t)))
+
+	// Warm one query so the batch mixes hits and misses.
+	doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(`{"seeds":[7],"k":3}`), nil)
+
+	body := []byte(`{"batch":[[7],[10,20],[299]],"k":3}`)
+	var resp struct {
+		Graph   string          `json:"graph"`
+		Results []pprResultJSON `json:"results"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", body, &resp); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if !resp.Results[0].Cached {
+		t.Fatal("warmed batch member missed the cache")
+	}
+	if resp.Results[1].Cached || resp.Results[2].Cached {
+		t.Fatal("cold batch members reported cached")
+	}
+	for i, r := range resp.Results {
+		if len(r.Scores) != 3 {
+			t.Fatalf("result %d: %d scores, want 3", i, len(r.Scores))
+		}
+		if r.ResidualL1 < 0 {
+			t.Fatalf("result %d: negative residual", i)
+		}
+	}
+}
+
+func TestPPRBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "g", edgeListBody(t, testGraph(t))) // 300 nodes
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"seed out of range", `{"seeds":[300]}`, http.StatusBadRequest},
+		{"batch member out of range", `{"batch":[[1],[5000]],"k":2}`, http.StatusBadRequest},
+		{"empty seed set", `{"seeds":[]}`, http.StatusBadRequest},
+		{"empty batch member", `{"batch":[[1],[]]}`, http.StatusBadRequest},
+		{"both seeds and batch", `{"seeds":[1],"batch":[[2]]}`, http.StatusBadRequest},
+		{"neither seeds nor batch", `{}`, http.StatusBadRequest},
+		{"negative k", `{"seeds":[1],"k":-1}`, http.StatusBadRequest},
+		{"negative epsilon", `{"seeds":[1],"epsilon":-0.5}`, http.StatusBadRequest},
+		{"unknown field", `{"seeds":[1],"bogus":true}`, http.StatusBadRequest},
+		{"malformed JSON", `{"seeds":[1`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var errResp struct {
+			Error string `json:"error"`
+		}
+		code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(tc.body), &errResp)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+		if errResp.Error == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/nope/ppr", []byte(`{"seeds":[1]}`), nil); code != http.StatusNotFound {
+		t.Fatalf("missing graph: status %d, want 404", code)
+	}
+}
+
+func TestPPRCacheEviction(t *testing.T) {
+	s := New(Config{Defaults: testOptions, PPRCacheSize: 4})
+	if _, err := s.AddGraph("g", testGraph(t), testOptions, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Personalized("g", [][]uint32{{uint32(i)}}, 3, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := s.PPRCacheLen("g"); n != 4 {
+		t.Fatalf("cache len = %d, want capacity 4", n)
+	}
+	// Least-recent (seed 0..5) evicted, most-recent (seed 9) still hot.
+	ans, err := s.Personalized("g", [][]uint32{{9}}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans[0].Cached {
+		t.Fatal("most-recent query evicted")
+	}
+	ans, err = s.Personalized("g", [][]uint32{{0}}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans[0].Cached {
+		t.Fatal("least-recent query survived eviction")
+	}
+}
+
+func TestPPRBatchMatchesSingleQueries(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	if _, err := s.AddGraph("g", testGraph(t), testOptions, false); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.Personalized("g", [][]uint32{{1}, {2, 4}}, 5, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh server: recompute the same queries one at a time.
+	s2 := New(Config{Defaults: testOptions})
+	if _, err := s2.AddGraph("g", testGraph(t), testOptions, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, seeds := range [][]uint32{{1}, {2, 4}} {
+		one, err := s2.Personalized("g", [][]uint32{seeds}, 5, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range one[0].Top {
+			if one[0].Top[j].Node != batch[i].Top[j].Node {
+				t.Fatalf("query %d entry %d: batch node %d vs single node %d",
+					i, j, batch[i].Top[j].Node, one[0].Top[j].Node)
+			}
+			if d := one[0].Top[j].Score - batch[i].Top[j].Score; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("query %d entry %d: score diverges by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestPPRConcurrentQueries(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	if _, err := s.AddGraph("g", testGraph(t), testOptions, false); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			_, err := s.Personalized("g", [][]uint32{{uint32(i % 5)}}, 3, 0)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPPRAnswerJSONShape pins the wire contract the README documents.
+func TestPPRAnswerJSONShape(t *testing.T) {
+	ans := PPRAnswer{Seeds: []uint32{1}, K: 1, Top: []PPRScore{{Node: 2, Score: 0.5}}}
+	b, err := json.Marshal(ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"seeds"`, `"k"`, `"scores"`, `"rounds"`, `"pushes"`, `"residual_l1"`, `"compute_ms"`, `"cached"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("marshaled answer %s missing %s", b, key)
+		}
+	}
+}
+
+func TestPPRServeLimits(t *testing.T) {
+	_, ts := newTestServer(t)
+	ingest(t, ts, "g", edgeListBody(t, testGraph(t)))
+
+	bigBatch := `{"batch":[`
+	for i := 0; i < maxPPRBatchQueries+1; i++ {
+		if i > 0 {
+			bigBatch += ","
+		}
+		bigBatch += `[1]`
+	}
+	bigBatch += `],"k":1}`
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(bigBatch), nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", code)
+	}
+
+	manySeeds := make([]uint32, maxPPRSeedsPerQuery+1)
+	seedsJSON, _ := json.Marshal(map[string]any{"seeds": manySeeds})
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", seedsJSON, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized seed set: status %d, want 400", code)
+	}
+
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(`{"seeds":[1],"k":100000}`), nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized k: status %d, want 400", code)
+	}
+
+	// A sub-floor epsilon is clamped, not rejected — and keys the cache at
+	// the clamped value, so two sub-floor requests share one entry.
+	var first struct {
+		Result pprResultJSON `json:"result"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(`{"seeds":[2],"epsilon":1e-300}`), &first); code != http.StatusOK {
+		t.Fatalf("sub-floor epsilon: status %d, want 200", code)
+	}
+	var second struct {
+		Result pprResultJSON `json:"result"`
+	}
+	doJSON(t, "POST", ts.URL+"/v1/graphs/g/ppr", []byte(`{"seeds":[2],"epsilon":1e-200}`), &second)
+	if !second.Result.Cached {
+		t.Fatal("clamped epsilons should share a cache entry")
+	}
+}
+
+func TestPPRBatchDeduplicatesIdenticalQueries(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	if _, err := s.AddGraph("g", testGraph(t), testOptions, false); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := s.Personalized("g", [][]uint32{{5}, {5, 5}, {6}}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries 0 and 1 canonicalize to the same seed set; both must be
+	// answered (from one compute) and the cache holds two distinct entries.
+	if ans[0].Top[0] != ans[1].Top[0] {
+		t.Fatal("duplicate queries diverged")
+	}
+	if ans[0].Cached || ans[1].Cached || ans[2].Cached {
+		t.Fatal("cold batch reported cached")
+	}
+	if n, _ := s.PPRCacheLen("g"); n != 2 {
+		t.Fatalf("cache len = %d, want 2 distinct entries", n)
+	}
+}
+
+// TestPPRCoalescesConcurrentIdenticalQueries: while one request computes a
+// seed set, identical concurrent requests must attach to that run, not
+// launch their own.
+func TestPPRCoalescesConcurrentIdenticalQueries(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	if _, err := s.AddGraph("g", testGraph(t), testOptions, false); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	release := make(chan struct{})
+	orig := s.pprRunFn
+	s.pprRunFn = func(g *pcpm.Graph, sets [][]uint32, o pcpm.PPROptions) ([]*pcpm.PPRResult, error) {
+		calls.Add(1)
+		<-release
+		return orig(g, sets, o)
+	}
+
+	const clients = 8
+	answers := make([][]PPRAnswer, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			answers[c], errs[c] = s.Personalized("g", [][]uint32{{42}}, 3, 0)
+		}(c)
+	}
+	// Let every client reach the owner-or-follower decision, then release
+	// the single owned run.
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // give followers time to attach
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("engine ran %d times for identical concurrent queries, want 1", got)
+	}
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		if answers[c][0].Top[0] != answers[0][0].Top[0] {
+			t.Fatalf("client %d got a different answer", c)
+		}
+	}
+}
+
+// TestPPRTruncatedRunsAreNotCached: a run stopped by the round cap (residual
+// above the requested epsilon) must be served honestly but never cached.
+func TestPPRTruncatedRunsAreNotCached(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	// Damping this close to 1 needs ~20k rounds to reach the epsilon floor;
+	// the serving cap is 1000, so the run is truncated.
+	opts := testOptions
+	opts.Damping = 0.999
+	if _, err := s.AddGraph("g", testGraph(t), opts, false); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := s.Personalized("g", [][]uint32{{1}}, 3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans[0].ResidualL1 <= 1e-9 {
+		t.Skipf("run converged (residual %g); cannot exercise truncation here", ans[0].ResidualL1)
+	}
+	if n, _ := s.PPRCacheLen("g"); n != 0 {
+		t.Fatalf("truncated answer was cached (len %d)", n)
+	}
+	again, err := s.Personalized("g", [][]uint32{{1}}, 3, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Cached {
+		t.Fatal("repeat of truncated query reported cached")
+	}
+}
+
+// TestPPRPanicReleasesInflight: a panicking engine run must not leave the
+// inflight marker registered, or every future identical query would hang.
+func TestPPRPanicReleasesInflight(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	if _, err := s.AddGraph("g", testGraph(t), testOptions, false); err != nil {
+		t.Fatal(err)
+	}
+	orig := s.pprRunFn
+	s.pprRunFn = func(g *pcpm.Graph, sets [][]uint32, o pcpm.PPROptions) ([]*pcpm.PPRResult, error) {
+		panic("engine bug")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected the panic to propagate")
+			}
+		}()
+		s.Personalized("g", [][]uint32{{11}}, 3, 0) //nolint:errcheck // panics
+	}()
+
+	// The same query must now compute normally, not block on a dead marker.
+	s.pprRunFn = orig
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Personalized("g", [][]uint32{{11}}, 3, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("query after panic deadlocked on leaked inflight marker")
+	}
+}

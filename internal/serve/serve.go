@@ -89,9 +89,13 @@ type entry struct {
 	snap    atomic.Pointer[Snapshot]
 	version atomic.Uint64
 
-	mu       sync.Mutex // guards inflight and lastErr
+	mu       sync.Mutex // guards inflight, lastErr, ppr, and pprWait
 	inflight *inflightRun
 	lastErr  string
+	ppr      *pprCache // LRU of personalized answers keyed by query hash
+	// pprWait holds personalized computations in flight, keyed like ppr;
+	// identical concurrent queries attach instead of recomputing.
+	pprWait map[string]*pprInflight
 }
 
 // inflightRun is a recompute in progress; coalesced requests share it.
@@ -108,7 +112,11 @@ type Config struct {
 	// Logger receives request and recompute logs; nil discards them.
 	Logger *slog.Logger
 	// MaxUploadBytes caps POST /v1/graphs request bodies (default 1 GiB).
+	// Uploads past the cap are rejected with 413.
 	MaxUploadBytes int64
+	// PPRCacheSize caps each graph's LRU of personalized PageRank answers
+	// (default 128 queries per graph).
+	PPRCacheSize int
 }
 
 // Server owns the graph registry and serves rank queries. Create one with
@@ -124,6 +132,9 @@ type Server struct {
 	// computeFn runs one PageRank computation; tests substitute it to make
 	// in-flight recomputes observable and deterministic.
 	computeFn func(*graph.Graph, pcpm.Options) (*pcpm.Result, error)
+	// pprRunFn computes the personalized answers for a set of cache-missed
+	// queries; tests substitute it to observe coalescing.
+	pprRunFn func(*graph.Graph, [][]uint32, pcpm.PPROptions) ([]*pcpm.PPRResult, error)
 }
 
 // New builds a Server from cfg.
@@ -141,7 +152,21 @@ func New(cfg Config) *Server {
 		started:   time.Now(),
 		graphs:    make(map[string]*entry),
 		computeFn: pcpm.Run,
+		pprRunFn:  runPersonalizedMisses,
 	}
+}
+
+// runPersonalizedMisses is the default pprRunFn: a lone miss gets the
+// engine's intra-query parallelism, several share workers across queries.
+func runPersonalizedMisses(g *graph.Graph, seedSets [][]uint32, o pcpm.PPROptions) ([]*pcpm.PPRResult, error) {
+	if len(seedSets) == 1 {
+		res, err := pcpm.RunPersonalized(g, seedSets[0], o)
+		if err != nil {
+			return nil, err
+		}
+		return []*pcpm.PPRResult{res}, nil
+	}
+	return pcpm.RunPersonalizedBatch(g, seedSets, o)
 }
 
 // GraphInfo is the JSON-facing summary of one registered graph.
@@ -206,7 +231,11 @@ func (s *Server) AddGraph(name string, g *graph.Graph, opts pcpm.Options, replac
 		}
 	}
 	opts = s.fillDefaults(opts)
-	e := &entry{name: name, g: g, stats: g.ComputeStats()}
+	e := &entry{
+		name: name, g: g, stats: g.ComputeStats(),
+		ppr:     newPPRCache(s.cfg.PPRCacheSize),
+		pprWait: make(map[string]*pprInflight),
+	}
 	snap, err := s.compute(e, g, opts)
 	if err != nil {
 		return GraphInfo{}, err

@@ -16,6 +16,10 @@
 // MethodPCPMCSR (partition-centric without the PNG layout, Algorithm 2),
 // and MethodPCPM (the paper's contribution: PNG scatter, Algorithm 3, plus
 // branch-avoiding gather, Algorithm 4).
+//
+// Beyond the paper's global PageRank, RunPersonalized / RunPersonalizedBatch
+// answer Personalized PageRank queries (per-seed-set rank vectors) with the
+// partition-centric forward-push engine in internal/ppr.
 package pcpm
 
 import (
@@ -26,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/ppr"
 )
 
 // Method names a PageRank engine.
@@ -163,6 +168,36 @@ func Run(g *graph.Graph, o Options) (*Result, error) {
 	res.Ranks = e.Ranks()
 	res.Stats = e.Stats()
 	return res, nil
+}
+
+// PPROptions configure a personalized PageRank query (see internal/ppr):
+// damping, the epsilon L1-termination knob, TopK, partition size for the
+// frontier bins, worker count, and the dense-fallback threshold.
+type PPROptions = ppr.Options
+
+// PPRResult is one completed personalized PageRank query: the full score
+// vector, the optional top-K entries, round/push counts, and the residual
+// L1 error bound.
+type PPRResult = ppr.Result
+
+// PPREntry pairs a vertex with its personalized score.
+type PPREntry = ppr.Entry
+
+// RunPersonalized computes the Personalized PageRank vector for a uniform
+// distribution over the given seed vertices, using residual forward push
+// with a partition-centric frontier (and a dense power-iteration fallback
+// when the frontier saturates). The result's ResidualL1 bounds the L1
+// distance to the exact answer by o.Epsilon.
+func RunPersonalized(g *graph.Graph, seeds []uint32, o PPROptions) (*PPRResult, error) {
+	return ppr.Run(g, seeds, o)
+}
+
+// RunPersonalizedBatch evaluates many seed sets over one graph, scheduling
+// queries dynamically across workers with each query single-threaded —
+// the right trade for batch traffic, where cross-query parallelism beats
+// intra-query parallelism. Results align positionally with seedSets.
+func RunPersonalizedBatch(g *graph.Graph, seedSets [][]uint32, o PPROptions) ([]*PPRResult, error) {
+	return ppr.RunBatch(g, seedSets, o)
 }
 
 // RankEntry re-exports core.RankEntry for TopK consumers.

@@ -218,3 +218,34 @@ func TestCompactIDsOption(t *testing.T) {
 		t.Skip("graph too small to exceed the compact limit") // n < 128K nodes
 	}
 }
+
+func TestRunPersonalizedThroughFacade(t *testing.T) {
+	g := facadeGraph(t)
+	res, err := RunPersonalized(g, []uint32{0, 7}, PPROptions{TopK: 5, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top) != 5 {
+		t.Fatalf("len(Top) = %d, want 5", len(res.Top))
+	}
+	if res.ResidualL1 > 1e-8 {
+		t.Fatalf("residual %g exceeds epsilon", res.ResidualL1)
+	}
+	batch, err := RunPersonalizedBatch(g, [][]uint32{{0, 7}, {3}}, PPROptions{Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("batch results = %d, want 2", len(batch))
+	}
+	var diff float64
+	for i := range res.Scores {
+		diff += math.Abs(res.Scores[i] - batch[0].Scores[i])
+	}
+	if diff > 1e-7 {
+		t.Fatalf("batch[0] diverges from single run: L1 = %g", diff)
+	}
+	if _, err := RunPersonalized(g, nil, PPROptions{}); err == nil {
+		t.Fatal("empty seed set should fail")
+	}
+}
