@@ -1,0 +1,176 @@
+// Command pcpm-loadtest replays a deterministic mixed workload against a
+// rank-serving daemon and emits a JSON report whose "benchmarks" array uses
+// the same {name, iterations, ns_per_op} records CI folds into
+// BENCH_ci.json, so load-test runs append to the benchmark trajectory.
+//
+// Two targets:
+//
+//   - Remote: point -addr at a running pcpm-serve. Latencies and error
+//     counts are end-to-end; allocations cannot be observed across the
+//     network hop.
+//   - Self-contained (-self): generate a graph, start an in-process server
+//     on a loopback port, and replay against it. Because client and server
+//     share the process, the per-endpoint allocs/op probe sees the serving
+//     layer's allocations — the number the engine-pool work optimizes.
+//
+// Usage:
+//
+//	pcpm-loadtest -self -nodes 100000 -ops 5000 -c 16 -o load.json
+//	pcpm-loadtest -addr http://127.0.0.1:8080 -graph web -nodes 1791489 -ops 10000
+//	pcpm-loadtest -self -mix 'topk=10,ppr=60,batch=20,recompute=5,upload=5' -seed 7
+//
+// The same -seed always replays the same request sequence, so two builds
+// of the server can be compared on identical traffic.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	pcpm "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "target server base URL (e.g. http://127.0.0.1:8080); empty with -self runs in-process")
+		self    = flag.Bool("self", false, "start an in-process server with a generated graph (enables allocs/op)")
+		name    = flag.String("graph", "load", "graph registry name to target")
+		nodes   = flag.Int("nodes", 50000, "vertex ID space of the target graph (generated size with -self)")
+		degree  = flag.Int("degree", 8, "average out-degree of the generated graph (-self)")
+		ops     = flag.Int("ops", 2000, "total operations to replay")
+		conc    = flag.Int("c", 8, "concurrent in-flight requests")
+		seed    = flag.Uint64("seed", 42, "workload seed; same seed, same request sequence")
+		zipfS   = flag.Float64("zipf", 1.2, "Zipf skew exponent for seed/vertex draws (> 1)")
+		k       = flag.Int("k", 10, "top-k payload size of topk/ppr operations")
+		batch   = flag.Int("batch", 4, "queries per ppr_batch operation")
+		epsilon = flag.Float64("epsilon", 0, "requested PPR epsilon (0 = server default)")
+		mixSpec = flag.String("mix", "", `operation mix, e.g. "topk=50,rank=15,ppr=25,batch=6,recompute=2,upload=2" (default: that profile)`)
+		upload  = flag.String("upload-file", "", "graph file re-uploaded by upload ops (remote mode; -self uses the generated graph)")
+		out     = flag.String("o", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pcpm-loadtest:", err)
+		os.Exit(1)
+	}
+
+	cfg := loadgen.Config{
+		Graph:       *name,
+		Seed:        *seed,
+		Ops:         *ops,
+		Concurrency: *conc,
+		Nodes:       *nodes,
+		ZipfS:       *zipfS,
+		K:           *k,
+		BatchSize:   *batch,
+		Epsilon:     *epsilon,
+	}
+	if *mixSpec != "" {
+		mix, err := loadgen.ParseMix(*mixSpec)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Mix = mix
+	}
+
+	switch {
+	case *self:
+		base, body, err := startSelfTarget(*name, *nodes, *degree, *seed)
+		if err != nil {
+			fail(err)
+		}
+		cfg.BaseURL = base
+		cfg.UploadBody = body
+		cfg.MeasureAllocs = true
+		fmt.Fprintf(os.Stderr, "pcpm-loadtest: in-process server at %s (%d nodes)\n", base, *nodes)
+	case *addr != "":
+		cfg.BaseURL = *addr
+		if *upload != "" {
+			body, err := os.ReadFile(*upload)
+			if err != nil {
+				fail(err)
+			}
+			cfg.UploadBody = body
+		}
+	default:
+		fail(fmt.Errorf("need -addr or -self"))
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	output := struct {
+		Kind       string                `json:"kind"`
+		Report     *loadgen.Report       `json:"report"`
+		Benchmarks []loadgen.BenchRecord `json:"benchmarks"`
+	}{
+		Kind:       "pcpm-loadtest",
+		Report:     rep,
+		Benchmarks: rep.BenchRecords(),
+	}
+	enc, err := json.MarshalIndent(output, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "pcpm-loadtest: %d ops in %.0f ms (%.0f ops/s), %d errors\n",
+		rep.Ops, rep.DurationMS, rep.OpsPerSec, rep.Errors)
+	for _, ep := range rep.Endpoints {
+		line := fmt.Sprintf("  %-10s %5d ops  p50 %8.3f ms  p99 %8.3f ms  errors %d",
+			ep.Endpoint, ep.Count, ep.P50MS, ep.P99MS, ep.Errors)
+		if ep.AllocsPerOp > 0 {
+			line += fmt.Sprintf("  allocs/op %.0f", ep.AllocsPerOp)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// startSelfTarget generates a deterministic scale-free graph (preferential
+// attachment, like a follower network), loads it into an in-process serving
+// daemon on a loopback port, and returns the base URL plus the graph's
+// binary serialization (the re-upload payload).
+func startSelfTarget(name string, nodes, degree int, seed uint64) (string, []byte, error) {
+	g, err := gen.PreferentialAttachment(nodes, degree, seed, graph.BuildOptions{})
+	if err != nil {
+		return "", nil, err
+	}
+	var bin bytes.Buffer
+	if err := pcpm.SaveBinary(&bin, g); err != nil {
+		return "", nil, err
+	}
+
+	opts := pcpm.Options{Iterations: 10}
+	srv := serve.New(serve.Config{Defaults: opts})
+	if _, err := srv.AddGraph(name, g, opts, false); err != nil {
+		return "", nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go hs.Serve(l) //nolint:errcheck // lives for the process
+	return "http://" + l.Addr().String(), bin.Bytes(), nil
+}

@@ -112,7 +112,9 @@ func main() {
 	}
 }
 
-// runPersonalized answers one Personalized PageRank query from -seeds.
+// runPersonalized answers one Personalized PageRank query from -seeds,
+// through the same engine + per-run options split the serving layer pools:
+// graph-shaped scratch fixed at construction, query parameters per call.
 func runPersonalized(g *pcpm.Graph, seedSpec string, damping, epsilon float64,
 	partBytes, workers, top int, fail func(error)) {
 	var seedIDs []uint32
@@ -123,12 +125,17 @@ func runPersonalized(g *pcpm.Graph, seedSpec string, damping, epsilon float64,
 		}
 		seedIDs = append(seedIDs, uint32(v))
 	}
-	res, err := pcpm.RunPersonalized(g, seedIDs, pcpm.PPROptions{
-		Damping:        damping,
-		Epsilon:        epsilon,
-		TopK:           top,
+	eng, err := pcpm.NewPPREngine(g, pcpm.PPREngineOptions{
 		PartitionBytes: partBytes,
 		Workers:        workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	res, err := eng.Run(seedIDs, pcpm.PPRRunOptions{
+		Damping: damping,
+		Epsilon: epsilon,
+		TopK:    top,
 	})
 	if err != nil {
 		fail(err)
@@ -136,6 +143,10 @@ func runPersonalized(g *pcpm.Graph, seedSpec string, damping, epsilon float64,
 	fmt.Printf("personalized pagerank: seeds %v\n", seedIDs)
 	fmt.Printf("rounds: %d (%d sparse, %d dense), pushes: %d, residual L1 <= %.3g\n",
 		res.Rounds, res.SparseRounds, res.DenseRounds, res.Pushes, res.ResidualL1)
+	if res.Truncated {
+		fmt.Printf("WARNING: round cap reached with residual L1 %.3g still above the requested precision; scores are a partial answer\n",
+			res.ResidualL1)
+	}
 	fmt.Printf("compute: %v\n", res.Duration.Round(1e3))
 	fmt.Printf("top %d nodes:\n", top)
 	for i, e := range res.Top {

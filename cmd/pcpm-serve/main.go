@@ -14,7 +14,8 @@
 //
 // Graph uploads are capped by -max-upload (default 1 GiB); larger bodies
 // get 413 Request Entity Too Large. Personalized PageRank answers are
-// cached per graph in an LRU sized by -ppr-cache.
+// cached per graph in an LRU sized by -ppr-cache; cache misses borrow
+// engine scratch from a per-graph pool sized by -ppr-pool.
 package main
 
 import (
@@ -46,7 +47,9 @@ func main() {
 		maxUpload = flag.Int64("max-upload", 1<<30,
 			"largest accepted graph upload in bytes; POST /v1/graphs bodies past this are rejected with 413 Request Entity Too Large")
 		pprCache = flag.Int("ppr-cache", 128, "personalized-PageRank answers cached per graph (LRU)")
-		verbose  = flag.Bool("v", false, "debug logging")
+		pprPool  = flag.Int("ppr-pool", 4,
+			"idle personalized-PageRank engines retained per graph for cache misses (~33 bytes/node each; negative disables pooling)")
+		verbose = flag.Bool("v", false, "debug logging")
 	)
 	var preload []string
 	flag.Func("graph", "preload a graph as name=path (repeatable)", func(v string) error {
@@ -73,9 +76,10 @@ func main() {
 			PartitionBytes: *partBytes,
 			Workers:        *workers,
 		},
-		Logger:         logger,
-		MaxUploadBytes: *maxUpload,
-		PPRCacheSize:   *pprCache,
+		Logger:            logger,
+		MaxUploadBytes:    *maxUpload,
+		PPRCacheSize:      *pprCache,
+		PPREnginePoolSize: *pprPool,
 	})
 
 	for _, spec := range preload {

@@ -46,6 +46,26 @@ func main() {
 	fmt.Printf("(%d rounds: %d sparse push, %d dense fallback; residual L1 <= %.2g)\n",
 		res.Rounds, res.SparseRounds, res.DenseRounds, res.ResidualL1)
 
+	// Serving-style reuse: one engine holds the graph-shaped scratch
+	// (~33 bytes/node), and every query brings its own parameters — a
+	// quick coarse answer and a high-precision one run on the same scratch
+	// with nothing carried over between calls. This per-call split is what
+	// lets pcpm-serve pool engines across cache-missed queries.
+	eng, err := pcpm.NewPPREngine(g, pcpm.PPREngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	coarse, err := eng.Run(seeds, pcpm.PPRRunOptions{TopK: 1, TopOnly: true, Epsilon: 1e-4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	precise, err := eng.Run(seeds, pcpm.PPRRunOptions{TopK: 1, TopOnly: true, Epsilon: 1e-10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame engine, per-call precision: eps 1e-4 -> %d rounds, eps 1e-10 -> %d rounds (top node %d either way)\n",
+		coarse.Rounds, precise.Rounds, precise.Top[0].Node)
+
 	// Batch mode: many users answered together. Cross-query dynamic
 	// scheduling (each query single-threaded) is how the /v1/graphs/{name}/ppr
 	// endpoint evaluates cache misses.

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeedGraph serializes a small deterministic graph (optionally
+// weighted) for the seed corpus.
+func fuzzSeedGraph(t testing.TB, weighted bool) []byte {
+	t.Helper()
+	edges := []Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 0, Dst: 2, W: 2}, {Src: 1, Dst: 2, W: 0.5},
+		{Src: 2, Dst: 0, W: 1}, {Src: 3, Dst: 3, W: 4}, // self-loop + dangling node 4
+	}
+	g, err := FromEdges(5, edges, weighted, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// lyingHeader claims a huge graph on a tiny stream — the classic
+// allocation-bomb shape the chunked readers defend against.
+func lyingHeader(n, m uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	for _, v := range []uint64{n, m, 0} {
+		binary.Write(&buf, binary.LittleEndian, v) //nolint:errcheck // bytes.Buffer
+	}
+	buf.WriteString("short")
+	return buf.Bytes()
+}
+
+// FuzzReadBinary hammers the untrusted binary-graph reader (the
+// graph-upload path of the serving daemon). Any input may be rejected,
+// but none may panic, over-allocate against a lying header, or produce a
+// structurally invalid graph; accepted graphs must survive a write/read
+// round-trip unchanged.
+func FuzzReadBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("PCPMGRF"))              // magic truncated
+	f.Add([]byte("NOTAGRAPH_AT_ALL"))     // wrong magic
+	f.Add(fuzzSeedGraph(f, false))        // valid unweighted
+	f.Add(fuzzSeedGraph(f, true))         // valid weighted
+	f.Add(fuzzSeedGraph(f, false)[:20])   // header cut mid-field
+	f.Add(lyingHeader(1<<40, 1<<50))      // node count past the ID space
+	f.Add(lyingHeader(100, 1000))         // plausible counts, missing bytes
+	f.Add(append(fuzzSeedGraph(f, false), // trailing garbage is ignored
+		0xde, 0xad, 0xbe, 0xef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // bound memory; io is already chunk-limited
+		}
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking is the bug class
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("ReadBinary accepted an invalid graph: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteBinary(&buf, g); werr != nil {
+			t.Fatalf("round-trip write failed: %v", werr)
+		}
+		g2, rerr := ReadBinary(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip read failed: %v", rerr)
+		}
+		if !g.Equal(g2) {
+			t.Fatal("round-trip changed the graph")
+		}
+	})
+}
+
+// FuzzSniffBinary pins the sniffing contract the upload dispatcher relies
+// on: SniffBinary never panics on arbitrary (including short) heads, and
+// every stream ReadBinary accepts is one SniffBinary claims.
+func FuzzSniffBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("P"))
+	f.Add([]byte("PCPMGRF1"))
+	f.Add([]byte("PCPMGRF2"))
+	f.Add([]byte("# an edge list\n0 1\n"))
+	f.Add(fuzzSeedGraph(f, false))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		sniffed := SniffBinary(data)
+		if len(data) >= 8 && !sniffed && bytes.Equal(data[:8], binaryMagic[:]) {
+			t.Fatal("SniffBinary missed the magic")
+		}
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil && !sniffed {
+			t.Fatal("ReadBinary accepted a stream SniffBinary rejects — the upload dispatcher would parse it as an edge list")
+		}
+	})
+}

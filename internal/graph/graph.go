@@ -227,6 +227,12 @@ func validateCSR(kind string, off []int64, adj []NodeID, n int, m int64) error {
 		if off[v+1] < off[v] {
 			return fmt.Errorf("graph: %s offsets not monotone at node %d", kind, v)
 		}
+		// Bound before slicing: monotonicity of the prefix alone does not
+		// keep off[v+1] within adj when later offsets are garbage (the
+		// offsets may be untrusted upload bytes).
+		if off[v+1] > m {
+			return fmt.Errorf("graph: %s offset of node %d exceeds edge count %d", kind, v+1, m)
+		}
 		prev := int64(-1)
 		for _, u := range adj[off[v]:off[v+1]] {
 			if u&MSBMask != 0 {

@@ -181,6 +181,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if n > MaxNodes {
 		return nil, fmt.Errorf("graph: node count %d exceeds 2^31", n)
 	}
+	if m > uint64(1)<<62 {
+		return nil, fmt.Errorf("graph: edge count %d overflows", m)
+	}
 	g := &Graph{n: int(n), m: int64(m)}
 	var err error
 	if g.outOff, err = readI64Grow(br, int64(n)+1); err != nil {
@@ -194,10 +197,16 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: reading weights: %w", err)
 		}
 	}
-	g.rebuildCSC()
-	if err := g.Validate(); err != nil {
+	// The CSR arrays are untrusted input (uploads reach this reader), and
+	// rebuildCSC indexes by them — validate them BEFORE deriving CSC, or a
+	// crafted offset/adjacency entry panics the daemon instead of 400ing.
+	// The CSC side needs no second pass: rebuildCSC counting-sorts it from
+	// the just-validated CSR, so it is well-formed by construction (the
+	// fuzz target asserts full Validate on every accepted input).
+	if err := validateCSR("out", g.outOff, g.outAdj, g.n, g.m); err != nil {
 		return nil, fmt.Errorf("graph: loaded graph invalid: %w", err)
 	}
+	g.rebuildCSC()
 	return g, nil
 }
 

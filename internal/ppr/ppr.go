@@ -60,11 +60,43 @@ const (
 	DefaultDenseFraction = 0.125
 	// DefaultMaxRounds caps the scatter/gather rounds of one query.
 	DefaultMaxRounds = 10000
+	// minActivePerWorker is the frontier size one extra worker must bring
+	// to a sparse round before it pays for its scheduling overhead: rounds
+	// with fewer active vertices run on proportionally fewer workers (a
+	// single-seed query spends most of its rounds on tiny frontiers, where
+	// spawning a full-width worker set costs more than the pushes).
+	minActivePerWorker = 256
 )
 
-// Options configure a personalized PageRank computation. The zero value
-// selects the defaults above.
-type Options struct {
+// EngineOptions configure the graph-shaped scratch of an Engine — the two
+// knobs that fix the size of its allocations. Everything query-specific
+// (epsilon, top-k, damping, round caps) moved to RunOptions, so one Engine
+// can be pooled and serve queries with arbitrary per-call parameters.
+type EngineOptions struct {
+	// PartitionBytes sets the frontier-bin width in bytes of 4-byte vertex
+	// values, exactly like the global engines; must be a power of two
+	// (default 256 KB).
+	PartitionBytes int
+	// Workers is the engine's parallelism capacity: how many per-worker
+	// scatter-buffer sets it allocates (default GOMAXPROCS). A Run may use
+	// fewer workers than this, never more.
+	Workers int
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.PartitionBytes == 0 {
+		o.PartitionBytes = DefaultPartitionBytes
+	}
+	if o.Workers == 0 {
+		o.Workers = par.Workers(0)
+	}
+	return o
+}
+
+// RunOptions configure one personalized PageRank query. The zero value
+// selects the defaults above. All fields are per-call: none of them affect
+// the engine's allocations, so a pooled Engine serves any mix of them.
+type RunOptions struct {
 	// Damping is the PageRank damping factor d (default 0.85); the push
 	// teleport probability is α = 1 − d.
 	Damping float64
@@ -79,11 +111,9 @@ type Options struct {
 	// for callers that consume only Result.Top — the serving layer does.
 	// Requires TopK > 0.
 	TopOnly bool
-	// PartitionBytes sets the frontier-bin width in bytes of 4-byte vertex
-	// values, exactly like the global engines; must be a power of two
-	// (default 256 KB).
-	PartitionBytes int
-	// Workers bounds parallelism (default GOMAXPROCS).
+	// Workers bounds this query's parallelism; 0 means the engine's full
+	// width, and larger requests are clamped to it. Batch schedulers set 1
+	// to trade intra-query for cross-query parallelism.
 	Workers int
 	// DenseFraction is the active-vertex share of |V| at which a round
 	// uses the dense power-iteration fallback instead of sparse push
@@ -91,19 +121,16 @@ type Options struct {
 	// force every round dense.
 	DenseFraction float64
 	// MaxRounds caps scatter/gather rounds per query (default 10000); the
-	// engine returns its current estimate and ResidualL1 when hit.
+	// engine returns its current estimate with Truncated set when hit.
 	MaxRounds int
 }
 
-func (o Options) withDefaults() Options {
+func (o RunOptions) withDefaults() RunOptions {
 	if o.Damping == 0 {
 		o.Damping = DefaultDamping
 	}
 	if o.Epsilon == 0 {
 		o.Epsilon = DefaultEpsilon
-	}
-	if o.PartitionBytes == 0 {
-		o.PartitionBytes = DefaultPartitionBytes
 	}
 	if o.DenseFraction == 0 {
 		o.DenseFraction = DefaultDenseFraction
@@ -111,11 +138,10 @@ func (o Options) withDefaults() Options {
 	if o.MaxRounds == 0 {
 		o.MaxRounds = DefaultMaxRounds
 	}
-	o.Workers = par.Workers(o.Workers)
 	return o
 }
 
-func (o Options) validate() error {
+func (o RunOptions) validate() error {
 	if o.Damping <= 0 || o.Damping >= 1 {
 		return fmt.Errorf("ppr: damping %v outside (0,1)", o.Damping)
 	}
@@ -128,7 +154,49 @@ func (o Options) validate() error {
 	if o.TopOnly && o.TopK <= 0 {
 		return fmt.Errorf("ppr: TopOnly requires a positive TopK")
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("ppr: negative workers %d", o.Workers)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("ppr: negative max rounds %d", o.MaxRounds)
+	}
 	return nil
+}
+
+// Options is the combined engine + query configuration consumed by the
+// stateless entry points (Run, RunBatch) and the pcpm facade, which build
+// an engine and run one workload in a single call. Engine-reusing callers
+// split the two halves: New takes EngineOptions, Engine.Run takes
+// RunOptions.
+type Options struct {
+	// Damping, Epsilon, TopK, TopOnly, DenseFraction, and MaxRounds are
+	// query parameters — see RunOptions.
+	Damping       float64
+	Epsilon       float64
+	TopK          int
+	TopOnly       bool
+	DenseFraction float64
+	MaxRounds     int
+	// PartitionBytes and Workers shape the engine scratch — see
+	// EngineOptions.
+	PartitionBytes int
+	Workers        int
+}
+
+// Split separates the combined options into their engine-shaped and
+// query-specific halves.
+func (o Options) Split() (EngineOptions, RunOptions) {
+	return EngineOptions{
+			PartitionBytes: o.PartitionBytes,
+			Workers:        o.Workers,
+		}, RunOptions{
+			Damping:       o.Damping,
+			Epsilon:       o.Epsilon,
+			TopK:          o.TopK,
+			TopOnly:       o.TopOnly,
+			DenseFraction: o.DenseFraction,
+			MaxRounds:     o.MaxRounds,
+		}
 }
 
 // Entry pairs a vertex with its personalized score.
@@ -153,6 +221,10 @@ type Result struct {
 	// ResidualL1 is the undelivered residual mass at termination — an
 	// upper bound on the L1 distance to the exact answer.
 	ResidualL1 float64
+	// Truncated is true when the run stopped at RunOptions.MaxRounds with
+	// ResidualL1 still above the requested epsilon: the scores are an
+	// honest partial answer, not a converged one.
+	Truncated bool
 	// Duration is the wall-clock compute time of this query.
 	Duration time.Duration
 }
@@ -163,14 +235,18 @@ type update struct {
 	val float64
 }
 
-// Engine holds the per-graph scratch state of the push computation, so a
-// caller serving many queries over one graph reuses its allocations. An
-// Engine is NOT safe for concurrent Run calls; use one per goroutine (the
-// serving layer does) or the stateless package-level Run.
+// Engine holds only the graph-shaped scratch state of the push computation
+// (score/residual arrays, frontier bins, per-worker scatter buffers) — about
+// 33 bytes per node plus the frontier structures. Nothing query-specific is
+// baked in at construction, so one Engine serves queries with any mix of
+// RunOptions and a caller serving many queries over one graph (or a pool of
+// borrowed engines, like the serving layer) reuses its allocations. An
+// Engine is NOT safe for concurrent Run calls; use one per goroutine or the
+// stateless package-level Run.
 type Engine struct {
 	g      *graph.Graph
-	opts   Options
 	layout partition.Layout
+	width  int // worker capacity fixed at New; Run clamps to it
 
 	p, r   []float64 // estimate and residual, indexed by node
 	scaled []float64 // dense rounds: r[v]/outdeg(v) scratch
@@ -183,13 +259,23 @@ type Engine struct {
 	bufs     [][][]update
 	dangling []float64 // per-worker dangling residual accumulators
 	pushes   []int64   // per-worker push counters
+	// Per-round accumulator scratch, sized by width. Keeping these on the
+	// engine (instead of allocating per round) matters because a query can
+	// run thousands of rounds: delivered collects per-worker pushed mass in
+	// sparse rounds and residual mass in dense ones; bounds is the static
+	// range split reused by every dense round of one Run.
+	delivered []float64
+	bounds    []int
 }
 
-// New builds an Engine for g.
-func New(g *graph.Graph, opts Options) (*Engine, error) {
+// New builds an Engine for g. Only the scratch shape is fixed here; every
+// query parameter is supplied per Run call.
+func New(g *graph.Graph, opts EngineOptions) (*Engine, error) {
 	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
-		return nil, err
+	if opts.Workers < 1 {
+		// Only an explicit negative reaches here (0 defaulted above) —
+		// reject it like RunOptions does instead of silently going wide.
+		return nil, fmt.Errorf("ppr: negative workers %d", opts.Workers)
 	}
 	if g.NumNodes() == 0 {
 		return nil, fmt.Errorf("ppr: empty graph")
@@ -201,8 +287,8 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	n := g.NumNodes()
 	e := &Engine{
 		g:          g,
-		opts:       opts,
 		layout:     layout,
+		width:      opts.Workers,
 		p:          make([]float64, n),
 		r:          make([]float64, n),
 		scaled:     make([]float64, n),
@@ -212,6 +298,8 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		bufs:       make([][][]update, opts.Workers),
 		dangling:   make([]float64, opts.Workers),
 		pushes:     make([]int64, opts.Workers),
+		delivered:  make([]float64, opts.Workers),
+		bounds:     make([]int, opts.Workers+1),
 	}
 	for w := range e.bufs {
 		e.bufs[w] = make([][]update, layout.K())
@@ -221,6 +309,10 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Width returns the engine's worker capacity (EngineOptions.Workers after
+// defaulting); Run calls are clamped to it.
+func (e *Engine) Width() int { return e.width }
 
 // CanonicalSeeds validates and canonicalizes a seed set — sorted, unique,
 // in-range — the form that keys caches and defines the uniform seed
@@ -254,52 +346,83 @@ func normalizeSeeds(n int, seeds []graph.NodeID) ([]graph.NodeID, error) {
 }
 
 // Run computes the personalized PageRank vector for a uniform distribution
-// over seeds.
-func (e *Engine) Run(seeds []graph.NodeID) (*Result, error) {
+// over seeds, with every query parameter supplied per call. Zero-valued
+// RunOptions fields select the package defaults; RunOptions.Workers is
+// clamped to the engine's width. Run begins by clearing all per-query
+// state, so an engine borrowed from a pool carries nothing over from its
+// previous borrower.
+func (e *Engine) Run(seeds []graph.NodeID, ro RunOptions) (*Result, error) {
 	start := time.Now()
+	ro = ro.withDefaults()
+	if err := ro.validate(); err != nil {
+		return nil, err
+	}
+	workers := ro.Workers
+	if workers == 0 || workers > e.width {
+		workers = e.width
+	}
 	seedSet, err := normalizeSeeds(e.g.NumNodes(), seeds)
 	if err != nil {
 		return nil, err
 	}
 	e.reset()
 	seedW := 1 / float64(len(seedSet))
+	// thresh is the per-vertex activation bar: with no vertex above it, the
+	// total leftover residual is below Epsilon, which is the L1 guarantee.
+	thresh := ro.Epsilon / float64(e.g.NumNodes())
 	var residual float64
 	for _, s := range seedSet {
-		e.addResidual(s, seedW)
+		e.addResidual(s, seedW, thresh)
 	}
 	residual = 1
 
 	res := &Result{}
-	alpha := 1 - e.opts.Damping
-	thresh := e.threshold()
-	for res.Rounds < e.opts.MaxRounds {
+	// The phase closures are created once per Run and reused by every
+	// round: a query can run thousands of rounds, and closure construction
+	// inside the loop was a measurable share of the serving miss path's
+	// allocations.
+	rs := &roundState{alpha: 1 - ro.Damping, thresh: thresh, seedW: seedW, seeds: seedSet}
+	scatter := func(w, sp int) { e.scatterPartition(rs, w, sp) }
+	gather := func(dp int) { e.gatherPartition(rs, dp) }
+	denseScale := func(w, lo, hi int) { e.denseScale(rs, w, lo, hi) }
+	densePull := func(_, lo, hi int) { e.densePull(rs, lo, hi) }
+	denseRebuild := func(w, pi int) { e.denseRebuild(rs, w, pi) }
+	for res.Rounds < ro.MaxRounds {
 		active := 0
 		for _, f := range e.frontier {
 			active += len(f)
 		}
-		if active == 0 || residual <= e.opts.Epsilon {
+		if active == 0 || residual <= ro.Epsilon {
 			break
 		}
 		res.Rounds++
-		if float64(active) > e.opts.DenseFraction*float64(e.g.NumNodes()) {
+		if float64(active) > ro.DenseFraction*float64(e.g.NumNodes()) {
+			// Dense rounds touch every vertex, so they always justify the
+			// full worker set.
 			res.DenseRounds++
-			residual = e.denseRound(alpha, thresh, seedSet, seedW)
+			rs.workers = workers
+			residual = e.denseRound(rs, denseScale, densePull, denseRebuild)
 		} else {
 			res.SparseRounds++
-			residual -= e.sparseRound(alpha, thresh, seedSet, seedW)
+			rs.workers = workers
+			if lim := 1 + active/minActivePerWorker; lim < rs.workers {
+				rs.workers = lim
+			}
+			residual -= e.sparseRound(rs, scatter, gather)
 		}
 	}
 
-	if !e.opts.TopOnly {
+	if !ro.TopOnly {
 		res.Scores = make([]float64, len(e.p))
 		copy(res.Scores, e.p)
 	}
 	res.ResidualL1 = residualMass(e.r)
+	res.Truncated = res.ResidualL1 > ro.Epsilon
 	for _, c := range e.pushes {
 		res.Pushes += c
 	}
-	if e.opts.TopK > 0 {
-		res.Top = TopK(e.p, e.opts.TopK)
+	if ro.TopK > 0 {
+		res.Top = TopK(e.p, ro.TopK)
 	}
 	res.Duration = time.Since(start)
 	return res, nil
@@ -321,96 +444,60 @@ func (e *Engine) reset() {
 		}
 		e.dangling[w] = 0
 		e.pushes[w] = 0
+		e.delivered[w] = 0
 	}
-}
-
-// threshold is the per-vertex activation bar: with no vertex above it, the
-// total leftover residual is below Epsilon, which is the L1 guarantee.
-func (e *Engine) threshold() float64 {
-	return e.opts.Epsilon / float64(e.g.NumNodes())
 }
 
 // addResidual credits mass to v's residual and activates it if it crosses
 // the threshold. Callers must hold ownership of v's partition (or run
 // single-threaded).
-func (e *Engine) addResidual(v graph.NodeID, mass float64) {
+func (e *Engine) addResidual(v graph.NodeID, mass, thresh float64) {
 	e.r[v] += mass
-	if !e.inFrontier[v] && e.r[v] > e.threshold() {
+	if !e.inFrontier[v] && e.r[v] > thresh {
 		e.inFrontier[v] = true
 		pi := e.layout.PartitionOf(v)
 		e.frontier[pi] = append(e.frontier[pi], v)
 	}
 }
 
+// roundState carries one Run's loop-invariant query parameters plus the
+// worker count of the round in flight. The hoisted phase closures read it,
+// so the round loop re-dispatches them without rebuilding anything.
+type roundState struct {
+	alpha, thresh, seedW float64
+	seeds                []graph.NodeID
+	workers              int // worker count of the current round
+}
+
 // sparseRound performs one partition-centric scatter/gather push round and
 // returns the mass delivered to the estimate (α × pushed residual).
-func (e *Engine) sparseRound(alpha, thresh float64, seeds []graph.NodeID, seedW float64) float64 {
-	g, k, workers := e.g, e.layout.K(), e.opts.Workers
-	outOff, outAdj := g.OutOffsets(), g.OutAdjacency()
-	shift := e.layout.Shift()
-	delivered := make([]float64, workers)
+// scatter and gather are the Run-hoisted wrappers around scatterPartition
+// and gatherPartition.
+func (e *Engine) sparseRound(rs *roundState, scatter func(w, sp int), gather func(dp int)) float64 {
+	k, workers := e.layout.K(), rs.workers
+	delivered := e.delivered[:workers]
+	clear(delivered)
 
 	// Scatter: each partition's frontier is drained by exactly one worker,
 	// which owns p/r/inFrontier for that ID range and appends cross-partition
 	// contributions to its private buffers.
-	par.ForDynamicWorker(k, workers, func(w, sp int) {
-		bufs := e.bufs[w]
-		var dmass, dlv float64
-		var pushed int64
-		for _, v := range e.frontier[sp] {
-			e.inFrontier[v] = false
-			rv := e.r[v]
-			if rv <= thresh {
-				continue
-			}
-			e.r[v] = 0
-			e.p[v] += alpha * rv
-			dlv += alpha * rv
-			pushed++
-			lo, hi := outOff[v], outOff[v+1]
-			if lo == hi {
-				dmass += (1 - alpha) * rv
-				continue
-			}
-			share := (1 - alpha) * rv / float64(hi-lo)
-			for _, u := range outAdj[lo:hi] {
-				dp := int(u >> shift)
-				bufs[dp] = append(bufs[dp], update{dst: u, val: share})
-			}
-		}
-		e.frontier[sp] = e.frontier[sp][:0]
-		e.dangling[w] += dmass
-		e.pushes[w] += pushed
-		delivered[w] += dlv
-	})
+	par.ForDynamicWorker(k, workers, scatter)
 
 	// Gather: each destination partition applies every worker's buffered
 	// updates with exclusive ownership of its residual range — the same
 	// no-synchronization argument as the PCPM gather (Algorithm 4).
-	par.ForDynamic(k, workers, func(dp int) {
-		for w := 0; w < workers; w++ {
-			buf := e.bufs[w][dp]
-			for _, u := range buf {
-				e.r[u.dst] += u.val
-				if !e.inFrontier[u.dst] && e.r[u.dst] > thresh {
-					e.inFrontier[u.dst] = true
-					e.frontier[dp] = append(e.frontier[dp], u.dst)
-				}
-			}
-			e.bufs[w][dp] = buf[:0]
-		}
-	})
+	par.ForDynamic(k, workers, gather)
 
 	// Dangling residual teleports back to the seed distribution; seed sets
 	// are tiny, so this runs serially after the parallel phases.
 	var dmass float64
-	for w := range e.dangling {
+	for w := 0; w < workers; w++ {
 		dmass += e.dangling[w]
 		e.dangling[w] = 0
 	}
 	if dmass > 0 {
-		for _, s := range seeds {
-			e.addResidual(s, dmass*seedW)
+		for _, s := range rs.seeds {
+			e.addResidual(s, dmass*rs.seedW, rs.thresh)
 		}
 	}
 	var total float64
@@ -420,69 +507,88 @@ func (e *Engine) sparseRound(alpha, thresh float64, seeds []graph.NodeID, seedW 
 	return total
 }
 
+// scatterPartition drains source partition sp's frontier as worker w.
+func (e *Engine) scatterPartition(rs *roundState, w, sp int) {
+	outOff, outAdj := e.g.OutOffsets(), e.g.OutAdjacency()
+	shift := e.layout.Shift()
+	alpha, thresh := rs.alpha, rs.thresh
+	bufs := e.bufs[w]
+	var dmass, dlv float64
+	var pushed int64
+	for _, v := range e.frontier[sp] {
+		e.inFrontier[v] = false
+		rv := e.r[v]
+		if rv <= thresh {
+			continue
+		}
+		e.r[v] = 0
+		e.p[v] += alpha * rv
+		dlv += alpha * rv
+		pushed++
+		lo, hi := outOff[v], outOff[v+1]
+		if lo == hi {
+			dmass += (1 - alpha) * rv
+			continue
+		}
+		share := (1 - alpha) * rv / float64(hi-lo)
+		for _, u := range outAdj[lo:hi] {
+			dp := int(u >> shift)
+			bufs[dp] = append(bufs[dp], update{dst: u, val: share})
+		}
+	}
+	e.frontier[sp] = e.frontier[sp][:0]
+	e.dangling[w] += dmass
+	e.pushes[w] += pushed
+	e.delivered[w] += dlv
+}
+
+// gatherPartition applies every worker's buffered updates to destination
+// partition dp, which it owns exclusively for the round.
+func (e *Engine) gatherPartition(rs *roundState, dp int) {
+	thresh := rs.thresh
+	for w := 0; w < rs.workers; w++ {
+		buf := e.bufs[w][dp]
+		for _, u := range buf {
+			e.r[u.dst] += u.val
+			if !e.inFrontier[u.dst] && e.r[u.dst] > thresh {
+				e.inFrontier[u.dst] = true
+				e.frontier[dp] = append(e.frontier[dp], u.dst)
+			}
+		}
+		e.bufs[w][dp] = buf[:0]
+	}
+}
+
 // denseRound performs one residual power iteration — push every vertex at
 // once via a pull over CSC — and returns the remaining residual mass. It is
 // the fallback for frontiers too dense for sparse bookkeeping to pay off.
-func (e *Engine) denseRound(alpha, thresh float64, seeds []graph.NodeID, seedW float64) float64 {
-	g, workers := e.g, e.opts.Workers
-	n := g.NumNodes()
-	inOff, inAdj := g.InOffsets(), g.InAdjacency()
-	outOff := g.OutOffsets()
-	dmassW := make([]float64, workers)
+// scale, pull, and rebuild are the Run-hoisted wrappers around the three
+// phase bodies below.
+func (e *Engine) denseRound(rs *roundState, scale, pull func(w, lo, hi int), rebuild func(w, pi int)) float64 {
+	n, workers := e.g.NumNodes(), rs.workers
+	bounds := staticBounds(e.bounds, n, workers)
 
 	// Deliver α·r into the estimate and scale residuals by out-degree for
-	// the pull; collect dangling residual on the side.
-	par.ForRanges(staticBounds(n, workers), func(w, lo, hi int) {
-		var dmass float64
-		for v := lo; v < hi; v++ {
-			rv := e.r[v]
-			e.p[v] += alpha * rv
-			if deg := outOff[v+1] - outOff[v]; deg > 0 {
-				e.scaled[v] = rv / float64(deg)
-			} else {
-				e.scaled[v] = 0
-				dmass += rv
-			}
-		}
-		dmassW[w] = dmass
-	})
+	// the pull; collect dangling residual on the side. dangling doubles as
+	// this phase's per-worker accumulator: sparse rounds leave it zeroed.
+	par.ForRanges(bounds, scale)
 	var dmass float64
-	for _, d := range dmassW {
-		dmass += d
+	for w := 0; w < workers; w++ {
+		dmass += e.dangling[w]
+		e.dangling[w] = 0
 	}
 
-	par.ForRanges(staticBounds(n, workers), func(_, lo, hi int) {
-		for v := lo; v < hi; v++ {
-			var sum float64
-			for _, u := range inAdj[inOff[v]:inOff[v+1]] {
-				sum += e.scaled[u]
-			}
-			e.newr[v] = (1 - alpha) * sum
-		}
-	})
+	par.ForRanges(bounds, pull)
 	e.r, e.newr = e.newr, e.r
-	for _, s := range seeds {
-		e.r[s] += (1 - alpha) * dmass * seedW
+	for _, s := range rs.seeds {
+		e.r[s] += (1 - rs.alpha) * dmass * rs.seedW
 	}
 
-	// Rebuild the frontier bins from scratch: one owner per partition.
-	residW := make([]float64, workers)
-	par.ForDynamicWorker(e.layout.K(), workers, func(w, pi int) {
-		lo, hi := e.layout.Bounds(pi)
-		f := e.frontier[pi][:0]
-		var resid float64
-		for v := lo; v < hi; v++ {
-			resid += e.r[v]
-			if e.r[v] > thresh {
-				e.inFrontier[v] = true
-				f = append(f, v)
-			} else {
-				e.inFrontier[v] = false
-			}
-		}
-		e.frontier[pi] = f
-		residW[w] += resid
-	})
+	// Rebuild the frontier bins from scratch: one owner per partition,
+	// accumulating residual mass per worker in delivered.
+	residW := e.delivered[:workers]
+	clear(residW)
+	par.ForDynamicWorker(e.layout.K(), workers, rebuild)
 	var resid float64
 	for _, rr := range residW {
 		resid += rr
@@ -490,16 +596,66 @@ func (e *Engine) denseRound(alpha, thresh float64, seeds []graph.NodeID, seedW f
 	return resid
 }
 
-// staticBounds splits [0, n) into one contiguous range per worker, in the
-// []int bounds form par.ForRanges consumes.
-func staticBounds(n, workers int) []int {
+// denseScale is the first dense phase over one static vertex range.
+func (e *Engine) denseScale(rs *roundState, w, lo, hi int) {
+	outOff := e.g.OutOffsets()
+	alpha := rs.alpha
+	var dmass float64
+	for v := lo; v < hi; v++ {
+		rv := e.r[v]
+		e.p[v] += alpha * rv
+		if deg := outOff[v+1] - outOff[v]; deg > 0 {
+			e.scaled[v] = rv / float64(deg)
+		} else {
+			e.scaled[v] = 0
+			dmass += rv
+		}
+	}
+	e.dangling[w] += dmass
+}
+
+// densePull is the CSC pull phase over one static vertex range.
+func (e *Engine) densePull(rs *roundState, lo, hi int) {
+	inOff, inAdj := e.g.InOffsets(), e.g.InAdjacency()
+	for v := lo; v < hi; v++ {
+		var sum float64
+		for _, u := range inAdj[inOff[v]:inOff[v+1]] {
+			sum += e.scaled[u]
+		}
+		e.newr[v] = (1 - rs.alpha) * sum
+	}
+}
+
+// denseRebuild reconstitutes partition pi's frontier bin as worker w.
+func (e *Engine) denseRebuild(rs *roundState, w, pi int) {
+	lo, hi := e.layout.Bounds(pi)
+	f := e.frontier[pi][:0]
+	var resid float64
+	for v := lo; v < hi; v++ {
+		resid += e.r[v]
+		if e.r[v] > rs.thresh {
+			e.inFrontier[v] = true
+			f = append(f, v)
+		} else {
+			e.inFrontier[v] = false
+		}
+	}
+	e.frontier[pi] = f
+	e.delivered[w] += resid
+}
+
+// staticBounds splits [0, n) into one contiguous range per worker, writing
+// into the engine-owned scratch in the []int bounds form par.ForRanges
+// consumes.
+func staticBounds(scratch []int, n, workers int) []int {
 	if workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	b := make([]int, workers+1)
+	b := scratch[:workers+1]
+	b[0] = 0
 	for w := 1; w <= workers; w++ {
 		b[w] = w * n / workers
 	}
@@ -576,13 +732,16 @@ func TopK(scores []float64, k int) []Entry {
 }
 
 // Run is the stateless single-query entry point: it builds an Engine,
-// runs one seed set, and discards the scratch state.
+// runs one seed set, and discards the scratch state. Callers serving many
+// queries should build one Engine (or pool several) and call Engine.Run
+// with per-query RunOptions instead.
 func Run(g *graph.Graph, seeds []graph.NodeID, opts Options) (*Result, error) {
-	e, err := New(g, opts)
+	eo, ro := opts.Split()
+	e, err := New(g, eo)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(seeds)
+	return e.Run(seeds, ro)
 }
 
 // RunBatch evaluates many seed sets over one graph. Queries are scheduled
@@ -593,8 +752,9 @@ func Run(g *graph.Graph, seeds []graph.NodeID, opts Options) (*Result, error) {
 // is invalid fails the whole batch (callers validate seeds upfront to
 // avoid burning the batch).
 func RunBatch(g *graph.Graph, seedSets [][]graph.NodeID, opts Options) ([]*Result, error) {
-	opts = opts.withDefaults()
-	if err := opts.validate(); err != nil {
+	eo, ro := opts.Split()
+	ro = ro.withDefaults()
+	if err := ro.validate(); err != nil {
 		return nil, err
 	}
 	for i, seeds := range seedSets {
@@ -603,8 +763,8 @@ func RunBatch(g *graph.Graph, seedSets [][]graph.NodeID, opts Options) ([]*Resul
 		}
 	}
 	workers := opts.Workers
-	queryOpts := opts
-	queryOpts.Workers = 1
+	eo.Workers = 1 // single-threaded queries need width-1 scatter buffers
+	ro.Workers = 1
 	results := make([]*Result, len(seedSets))
 	errs := make([]error, len(seedSets))
 	// One lazily-built engine per worker: each worker reuses its scratch
@@ -613,14 +773,14 @@ func RunBatch(g *graph.Graph, seedSets [][]graph.NodeID, opts Options) ([]*Resul
 	engines := make([]*Engine, par.Workers(workers))
 	par.ForDynamicWorker(len(seedSets), workers, func(w, i int) {
 		if engines[w] == nil {
-			e, err := New(g, queryOpts)
+			e, err := New(g, eo)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			engines[w] = e
 		}
-		results[i], errs[i] = engines[w].Run(seedSets[i])
+		results[i], errs[i] = engines[w].Run(seedSets[i], ro)
 	})
 	for _, err := range errs {
 		if err != nil {

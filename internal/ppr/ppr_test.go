@@ -192,20 +192,21 @@ func TestOptionValidation(t *testing.T) {
 
 func TestEngineReuseAcrossQueries(t *testing.T) {
 	g := testGraphs(t)["er"]
-	e, err := New(g, Options{Epsilon: 1e-8})
+	e, err := New(g, EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, err := e.Run([]graph.NodeID{4})
+	ro := RunOptions{Epsilon: 1e-8}
+	a1, err := e.Run([]graph.NodeID{4}, ro)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Interleave a different query, then repeat the first: state must not
 	// bleed between runs.
-	if _, err := e.Run([]graph.NodeID{400}); err != nil {
+	if _, err := e.Run([]graph.NodeID{400}, ro); err != nil {
 		t.Fatal(err)
 	}
-	a2, err := e.Run([]graph.NodeID{4})
+	a2, err := e.Run([]graph.NodeID{4}, ro)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,18 +215,121 @@ func TestEngineReuseAcrossQueries(t *testing.T) {
 	}
 }
 
+// TestPerRunOptionsOnOneEngine is the API contract of the pooling redesign:
+// one engine answers queries with entirely different per-call parameters,
+// and each answer matches a fresh stateless run with the same combined
+// options.
+func TestPerRunOptionsOnOneEngine(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	e, err := New(g, EngineOptions{PartitionBytes: 1 << 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []RunOptions{
+		{Epsilon: 1e-6, TopK: 3},
+		{Epsilon: 1e-9, Damping: 0.6, TopK: 10},
+		{Epsilon: 1e-7, DenseFraction: -1}, // all-dense
+		{Epsilon: 1e-7, DenseFraction: 2},  // all-sparse
+		{Epsilon: 1e-8, TopK: 5, TopOnly: true},
+	}
+	seeds := []graph.NodeID{2, 77}
+	for i, ro := range cases {
+		got, err := e.Run(seeds, ro)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		want, err := Run(g, seeds, Options{
+			Damping: ro.Damping, Epsilon: ro.Epsilon, TopK: ro.TopK,
+			TopOnly: ro.TopOnly, DenseFraction: ro.DenseFraction,
+			PartitionBytes: 1 << 10, Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("case %d reference: %v", i, err)
+		}
+		if ro.TopOnly {
+			if got.Scores != nil {
+				t.Fatalf("case %d: TopOnly run materialized Scores", i)
+			}
+		} else if d := l1(got.Scores, want.Scores); d != 0 {
+			t.Fatalf("case %d: pooled-engine answer diverges from fresh engine: L1 = %g", i, d)
+		}
+		if len(got.Top) != len(want.Top) {
+			t.Fatalf("case %d: %d top entries, want %d", i, len(got.Top), len(want.Top))
+		}
+		for j := range got.Top {
+			if got.Top[j] != want.Top[j] {
+				t.Fatalf("case %d top[%d]: got %+v, want %+v", i, j, got.Top[j], want.Top[j])
+			}
+		}
+	}
+}
+
+// TestRunWorkersClamp pins the per-run parallelism contract: requests above
+// the engine's width are clamped, zero means full width, negative is an
+// error.
+func TestRunWorkersClamp(t *testing.T) {
+	g := testGraphs(t)["er"]
+	e, err := New(g, EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Width() != 2 {
+		t.Fatalf("Width() = %d, want 2", e.Width())
+	}
+	wide, err := e.Run([]graph.NodeID{1}, RunOptions{Epsilon: 1e-8, Workers: 64})
+	if err != nil {
+		t.Fatalf("over-wide run: %v", err)
+	}
+	narrow, err := e.Run([]graph.NodeID{1}, RunOptions{Epsilon: 1e-8, Workers: 1})
+	if err != nil {
+		t.Fatalf("narrow run: %v", err)
+	}
+	if d := l1(wide.Scores, narrow.Scores); d > 1e-9 {
+		t.Fatalf("worker clamp changed the answer: L1 = %g", d)
+	}
+	if _, err := e.Run([]graph.NodeID{1}, RunOptions{Workers: -1}); err == nil {
+		t.Fatal("negative per-run workers should be rejected")
+	}
+	if _, err := New(g, EngineOptions{Workers: -1}); err == nil {
+		t.Fatal("negative engine workers should be rejected, not coerced to full width")
+	}
+}
+
+// TestTruncatedFlag pins Result.Truncated: a round-capped run that could
+// not reach its epsilon reports it, a converged run does not.
+func TestTruncatedFlag(t *testing.T) {
+	g := testGraphs(t)["er"]
+	capped, err := Run(g, []graph.NodeID{0}, Options{Epsilon: 1e-9, MaxRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Truncated {
+		t.Fatalf("1-round run reports converged (residual %g)", capped.ResidualL1)
+	}
+	if capped.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", capped.Rounds)
+	}
+	full, err := Run(g, []graph.NodeID{0}, Options{Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatalf("converged run (residual %g) reports truncated", full.ResidualL1)
+	}
+}
+
 func BenchmarkPushSingleSeed(b *testing.B) {
 	g, err := gen.RMAT(gen.Graph500RMAT(12, 8, 3), graph.BuildOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
-	e, err := New(g, Options{Epsilon: 1e-6})
+	e, err := New(g, EngineOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run([]graph.NodeID{graph.NodeID(i % g.NumNodes())}); err != nil {
+		if _, err := e.Run([]graph.NodeID{graph.NodeID(i % g.NumNodes())}, RunOptions{Epsilon: 1e-6}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	pcpm "repro"
+	"repro/internal/par"
 	"repro/internal/ppr"
 )
 
@@ -20,6 +21,10 @@ var ErrBadSeeds = errors.New("serve: invalid seed set")
 // defaultPPRCacheSize is the per-graph LRU capacity for personalized
 // answers when Config.PPRCacheSize is unset.
 const defaultPPRCacheSize = 128
+
+// defaultPPREnginePoolSize is the per-graph idle-engine retention cap when
+// Config.PPREnginePoolSize is unset.
+const defaultPPREnginePoolSize = 4
 
 // defaultPPRTopK is the top-K payload size when a query leaves k unset.
 const defaultPPRTopK = 10
@@ -65,6 +70,10 @@ type PPRAnswer struct {
 	Pushes int64 `json:"pushes"`
 	// ResidualL1 bounds the L1 error of the underlying score vector.
 	ResidualL1 float64 `json:"residual_l1"`
+	// Truncated is true when the run hit the serving round cap before
+	// reaching the requested epsilon: the scores are an honest partial
+	// answer, not a converged one. Truncated answers are never cached.
+	Truncated bool `json:"truncated,omitempty"`
 	// ComputeMS is the engine wall-clock of the original computation.
 	ComputeMS float64 `json:"compute_ms"`
 	// Cached is true when this answer was served from the per-graph LRU.
@@ -164,6 +173,176 @@ func canonicalSeeds(n int, seeds []uint32) ([]uint32, error) {
 	return cs, nil
 }
 
+// normalizePPRLimits applies the serving defaults and abuse limits to one
+// request's k and epsilon: k <= 0 means defaultPPRTopK, k above maxPPRTopK
+// is rejected, epsilon <= 0 means the engine default, and sub-floor
+// epsilons are clamped to minPPREpsilon (the clamped value keys the cache).
+func normalizePPRLimits(k int, epsilon float64) (int, float64, error) {
+	if k <= 0 {
+		k = defaultPPRTopK
+	}
+	if k > maxPPRTopK {
+		return 0, 0, fmt.Errorf("%w: k %d exceeds the limit of %d", ErrInvalidOptions, k, maxPPRTopK)
+	}
+	if epsilon <= 0 {
+		epsilon = ppr.DefaultEpsilon
+	}
+	if epsilon < minPPREpsilon {
+		epsilon = minPPREpsilon
+	}
+	return k, epsilon, nil
+}
+
+// enginePool retains idle personalized-PageRank engines for one graph so a
+// cache-missed query borrows warm scratch (~33 bytes/node) instead of
+// allocating it. Engines are shaped by the snapshot options that were
+// current when they were built, so the pool is keyed by snapshot version:
+// a recompute or re-upload publishes a new version and the retained
+// engines are invalidated (eagerly on recompute, lazily on version
+// mismatch). The cap bounds how much scratch a burst can pin — borrowers
+// past it still get fresh engines, which are simply dropped on return.
+// All methods require the owning entry's mu.
+type enginePool struct {
+	version uint64 // snapshot version the retained engines were built for
+	free    []*pcpm.PPREngine
+}
+
+// take returns a retained engine built for snapshot version v, or nil on a
+// version mismatch. Mismatches never mutate the pool: v comes from a
+// snapshot the requester loaded earlier, so a request racing a recompute
+// may present an OLD version — discarding here would let one straggler
+// evict every warm engine pooled for the current version. Stale retentions
+// are dropped by invalidate (on recompute) and give (which verifies v is
+// current before rebinding).
+func (p *enginePool) take(v uint64) *pcpm.PPREngine {
+	if p.version != v || len(p.free) == 0 {
+		return nil
+	}
+	e := p.free[len(p.free)-1]
+	p.free[len(p.free)-1] = nil
+	p.free = p.free[:len(p.free)-1]
+	return e
+}
+
+// give retains an engine built for snapshot version v (the caller verified
+// v is still current), dropping stale retentions and anything past the cap.
+func (p *enginePool) give(v uint64, e *pcpm.PPREngine, capacity int) {
+	if p.version != v {
+		p.free = nil
+		p.version = v
+	}
+	if len(p.free) < capacity {
+		p.free = append(p.free, e)
+	}
+}
+
+// invalidate drops every retained engine.
+func (p *enginePool) invalidate() {
+	p.free = nil
+}
+
+func (p *enginePool) len() int { return len(p.free) }
+
+// pprPoolCap resolves the configured engine-pool capacity: 0 means the
+// default, negative disables pooling.
+func (s *Server) pprPoolCap() int {
+	if s.cfg.PPREnginePoolSize == 0 {
+		return defaultPPREnginePoolSize
+	}
+	if s.cfg.PPREnginePoolSize < 0 {
+		return 0
+	}
+	return s.cfg.PPREnginePoolSize
+}
+
+// borrowEngine hands out a PPR engine for e's current snapshot: a pooled
+// one when available, otherwise freshly built with the snapshot's
+// partition size and worker count.
+func (s *Server) borrowEngine(e *entry, snap *Snapshot) (*pcpm.PPREngine, error) {
+	if s.pprPoolCap() > 0 {
+		e.mu.Lock()
+		eng := e.pool.take(snap.Version)
+		e.mu.Unlock()
+		if eng != nil {
+			return eng, nil
+		}
+	}
+	return pcpm.NewPPREngine(e.g, pcpm.PPREngineOptions{
+		PartitionBytes: snap.Options.PartitionBytes,
+		Workers:        snap.Options.Workers,
+	})
+}
+
+// returnEngine gives an engine back to e's pool. Engines built for a
+// snapshot that is no longer current are dropped: their shape may not
+// match the published options anymore.
+func (s *Server) returnEngine(e *entry, snap *Snapshot, eng *pcpm.PPREngine) {
+	capacity := s.pprPoolCap()
+	if capacity <= 0 || e.snap.Load().Version != snap.Version {
+		return
+	}
+	e.mu.Lock()
+	e.pool.give(snap.Version, eng, capacity)
+	e.mu.Unlock()
+}
+
+// runPersonalizedMisses is the default pprRunFn: it answers the distinct
+// cache-missed queries of one request using pooled engines. A lone miss
+// gets the engine's full intra-query parallelism; several misses are
+// scheduled dynamically across workers with each query single-threaded on
+// its own borrowed engine (cross-query beats intra-query parallelism for
+// batches, exactly as in ppr.RunBatch).
+func (s *Server) runPersonalizedMisses(e *entry, seedSets [][]uint32, ro pcpm.PPRRunOptions) ([]*pcpm.PPRResult, error) {
+	snap := e.snap.Load()
+	results := make([]*pcpm.PPRResult, len(seedSets))
+	if len(seedSets) == 1 {
+		eng, err := s.borrowEngine(e, snap)
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Run(seedSets[0], ro)
+		// Run clears all per-query state on entry, so the engine is safe to
+		// repool even after a failed run.
+		s.returnEngine(e, snap, eng)
+		if err != nil {
+			return nil, err
+		}
+		results[0] = res
+		return results, nil
+	}
+
+	workers := par.Workers(snap.Options.Workers)
+	if workers > len(seedSets) {
+		workers = len(seedSets)
+	}
+	qro := ro
+	qro.Workers = 1
+	engines := make([]*pcpm.PPREngine, workers)
+	errs := make([]error, len(seedSets))
+	par.ForDynamicWorker(len(seedSets), workers, func(w, i int) {
+		if engines[w] == nil {
+			eng, err := s.borrowEngine(e, snap)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			engines[w] = eng
+		}
+		results[i], errs[i] = engines[w].Run(seedSets[i], qro)
+	})
+	for _, eng := range engines {
+		if eng != nil {
+			s.returnEngine(e, snap, eng)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // Personalized answers a batch of personalized PageRank queries against one
 // graph. Each element of seedSets is one query's seed vertices; k and
 // epsilon apply to the whole batch (k <= 0 means 10, epsilon <= 0 means the
@@ -188,17 +367,9 @@ func (s *Server) Personalized(name string, seedSets [][]uint32, k int, epsilon f
 		return nil, fmt.Errorf("%w: %d queries exceeds the per-request limit of %d",
 			ErrInvalidOptions, len(seedSets), maxPPRBatchQueries)
 	}
-	if k <= 0 {
-		k = defaultPPRTopK
-	}
-	if k > maxPPRTopK {
-		return nil, fmt.Errorf("%w: k %d exceeds the limit of %d", ErrInvalidOptions, k, maxPPRTopK)
-	}
-	if epsilon <= 0 {
-		epsilon = ppr.DefaultEpsilon
-	}
-	if epsilon < minPPREpsilon {
-		epsilon = minPPREpsilon
+	k, epsilon, err = normalizePPRLimits(k, epsilon)
+	if err != nil {
+		return nil, err
 	}
 	opts := e.snap.Load().Options
 	damping := opts.Damping
@@ -277,16 +448,16 @@ func (s *Server) Personalized(name string, seedSets [][]uint32, k int, epsilon f
 	}()
 
 	if len(missSets) > 0 {
-		pprOpts := pcpm.PPROptions{
-			Damping:        damping,
-			Epsilon:        epsilon,
-			TopK:           k,
-			TopOnly:        true, // answers serve only the top-K; skip O(n) copies
-			PartitionBytes: opts.PartitionBytes,
-			Workers:        opts.Workers,
-			MaxRounds:      maxPPRRounds,
+		// Engine shape (partition size, workers) comes from the snapshot
+		// options via the per-graph pool; only query parameters travel here.
+		runOpts := pcpm.PPRRunOptions{
+			Damping:   damping,
+			Epsilon:   epsilon,
+			TopK:      k,
+			TopOnly:   true, // answers serve only the top-K; skip O(n) copies
+			MaxRounds: maxPPRRounds,
 		}
-		results, err := s.pprRunFn(e.g, missSets, pprOpts)
+		results, err := s.pprRunFn(e, missSets, runOpts)
 		e.mu.Lock()
 		settled = true
 		if err != nil {
@@ -303,7 +474,7 @@ func (s *Server) Personalized(name string, seedSets [][]uint32, k int, epsilon f
 			// Only converged answers enter the cache: a run truncated by the
 			// round cap (ResidualL1 above the requested epsilon) is served
 			// once, honestly labeled, but never pinned for repeat queries.
-			if results[j].ResidualL1 <= epsilon {
+			if !results[j].Truncated {
 				e.ppr.put(ownedKeys[j], fl.ans)
 			}
 			delete(e.pprWait, ownedKeys[j])
@@ -345,6 +516,7 @@ func toPPRAnswer(seeds []uint32, k int, res *pcpm.PPRResult) PPRAnswer {
 		Rounds:     res.Rounds,
 		Pushes:     res.Pushes,
 		ResidualL1: res.ResidualL1,
+		Truncated:  res.Truncated,
 		ComputeMS:  float64(res.Duration) / float64(time.Millisecond),
 	}
 }
@@ -359,4 +531,16 @@ func (s *Server) PPRCacheLen(name string) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.ppr.len(), nil
+}
+
+// PPREnginePoolLen reports how many idle personalized-PageRank engines
+// name's pool currently retains (testing and observability).
+func (s *Server) PPREnginePoolLen(name string) (int, error) {
+	e, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pool.len(), nil
 }

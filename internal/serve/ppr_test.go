@@ -323,10 +323,10 @@ func TestPPRCoalescesConcurrentIdenticalQueries(t *testing.T) {
 	var calls atomic.Int32
 	release := make(chan struct{})
 	orig := s.pprRunFn
-	s.pprRunFn = func(g *pcpm.Graph, sets [][]uint32, o pcpm.PPROptions) ([]*pcpm.PPRResult, error) {
+	s.pprRunFn = func(e *entry, sets [][]uint32, ro pcpm.PPRRunOptions) ([]*pcpm.PPRResult, error) {
 		calls.Add(1)
 		<-release
-		return orig(g, sets, o)
+		return orig(e, sets, ro)
 	}
 
 	const clients = 8
@@ -401,7 +401,7 @@ func TestPPRPanicReleasesInflight(t *testing.T) {
 		t.Fatal(err)
 	}
 	orig := s.pprRunFn
-	s.pprRunFn = func(g *pcpm.Graph, sets [][]uint32, o pcpm.PPROptions) ([]*pcpm.PPRResult, error) {
+	s.pprRunFn = func(e *entry, sets [][]uint32, ro pcpm.PPRRunOptions) ([]*pcpm.PPRResult, error) {
 		panic("engine bug")
 	}
 	func() {

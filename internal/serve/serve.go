@@ -89,13 +89,16 @@ type entry struct {
 	snap    atomic.Pointer[Snapshot]
 	version atomic.Uint64
 
-	mu       sync.Mutex // guards inflight, lastErr, ppr, and pprWait
+	mu       sync.Mutex // guards inflight, lastErr, ppr, pprWait, and pool
 	inflight *inflightRun
 	lastErr  string
 	ppr      *pprCache // LRU of personalized answers keyed by query hash
 	// pprWait holds personalized computations in flight, keyed like ppr;
 	// identical concurrent queries attach instead of recomputing.
 	pprWait map[string]*pprInflight
+	// pool holds idle personalized-PageRank engines for this graph, keyed
+	// by the snapshot version whose options shaped them; see enginePool.
+	pool enginePool
 }
 
 // inflightRun is a recompute in progress; coalesced requests share it.
@@ -117,6 +120,12 @@ type Config struct {
 	// PPRCacheSize caps each graph's LRU of personalized PageRank answers
 	// (default 128 queries per graph).
 	PPRCacheSize int
+	// PPREnginePoolSize caps how many idle personalized-PageRank engines
+	// each graph retains for reuse across cache-missed queries (default 4;
+	// negative disables pooling, so every miss allocates fresh scratch).
+	// Engine scratch is ~33 bytes/node, so the worst-case pinned memory per
+	// graph is PPREnginePoolSize × 33 × nodes.
+	PPREnginePoolSize int
 }
 
 // Server owns the graph registry and serves rank queries. Create one with
@@ -133,8 +142,9 @@ type Server struct {
 	// in-flight recomputes observable and deterministic.
 	computeFn func(*graph.Graph, pcpm.Options) (*pcpm.Result, error)
 	// pprRunFn computes the personalized answers for a set of cache-missed
-	// queries; tests substitute it to observe coalescing.
-	pprRunFn func(*graph.Graph, [][]uint32, pcpm.PPROptions) ([]*pcpm.PPRResult, error)
+	// queries against one entry's graph (borrowing pooled engines); tests
+	// substitute it to observe coalescing.
+	pprRunFn func(*entry, [][]uint32, pcpm.PPRRunOptions) ([]*pcpm.PPRResult, error)
 }
 
 // New builds a Server from cfg.
@@ -146,27 +156,15 @@ func New(cfg Config) *Server {
 	if log == nil {
 		log = slog.New(slog.DiscardHandler)
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		log:       log,
 		started:   time.Now(),
 		graphs:    make(map[string]*entry),
 		computeFn: pcpm.Run,
-		pprRunFn:  runPersonalizedMisses,
 	}
-}
-
-// runPersonalizedMisses is the default pprRunFn: a lone miss gets the
-// engine's intra-query parallelism, several share workers across queries.
-func runPersonalizedMisses(g *graph.Graph, seedSets [][]uint32, o pcpm.PPROptions) ([]*pcpm.PPRResult, error) {
-	if len(seedSets) == 1 {
-		res, err := pcpm.RunPersonalized(g, seedSets[0], o)
-		if err != nil {
-			return nil, err
-		}
-		return []*pcpm.PPRResult{res}, nil
-	}
-	return pcpm.RunPersonalizedBatch(g, seedSets, o)
+	s.pprRunFn = s.runPersonalizedMisses
+	return s
 }
 
 // GraphInfo is the JSON-facing summary of one registered graph.
@@ -470,6 +468,10 @@ func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 		e.lastErr = err.Error()
 	} else {
 		e.lastErr = ""
+		// The new snapshot may carry different engine-shaping options
+		// (partition size, workers), so retained PPR engines are stale;
+		// drop them and let the pool refill at the new version.
+		e.pool.invalidate()
 	}
 	e.mu.Unlock()
 	run.err = err

@@ -170,10 +170,35 @@ func Run(g *graph.Graph, o Options) (*Result, error) {
 	return res, nil
 }
 
-// PPROptions configure a personalized PageRank query (see internal/ppr):
-// damping, the epsilon L1-termination knob, TopK, partition size for the
-// frontier bins, worker count, and the dense-fallback threshold.
+// PPROptions is the combined engine + query configuration for the one-shot
+// personalized entry points (see internal/ppr): damping, the epsilon
+// L1-termination knob, TopK, partition size for the frontier bins, worker
+// count, and the dense-fallback threshold. Engine-reusing callers split the
+// two halves: PPREngineOptions fix the scratch shape at NewPPREngine,
+// PPRRunOptions carry everything query-specific per Run call.
 type PPROptions = ppr.Options
+
+// PPREngineOptions fix a PPREngine's graph-shaped scratch (partition size
+// for the frontier bins, worker capacity). Nothing query-specific lives
+// here, which is what makes engines poolable.
+type PPREngineOptions = ppr.EngineOptions
+
+// PPRRunOptions carry the query-specific parameters of one personalized
+// PageRank run: damping, epsilon, top-k, per-run worker clamp, the
+// dense-fallback threshold, and the round cap.
+type PPRRunOptions = ppr.RunOptions
+
+// PPREngine is reusable personalized PageRank scratch for one graph
+// (~33 bytes/node). One engine is NOT safe for concurrent Run calls; pool
+// several for concurrent serving, as internal/serve does.
+type PPREngine = ppr.Engine
+
+// NewPPREngine builds a reusable personalized PageRank engine for g. Query
+// parameters are supplied per Engine.Run call, so one engine (or a pool)
+// serves queries with arbitrary per-call epsilon, top-k, and damping.
+func NewPPREngine(g *Graph, o PPREngineOptions) (*PPREngine, error) {
+	return ppr.New(g, o)
+}
 
 // PPRResult is one completed personalized PageRank query: the full score
 // vector, the optional top-K entries, round/push counts, and the residual
