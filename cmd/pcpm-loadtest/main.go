@@ -18,6 +18,13 @@
 //	pcpm-loadtest -self -nodes 100000 -ops 5000 -c 16 -o load.json
 //	pcpm-loadtest -addr http://127.0.0.1:8080 -graph web -nodes 1791489 -ops 10000
 //	pcpm-loadtest -self -mix 'topk=10,ppr=60,batch=20,recompute=5,upload=5' -seed 7
+//	pcpm-loadtest -self -mix 'topk=40,rank=10,ppr=20,mutate=20,recompute=5' -seed 7
+//
+// The mutate kind exercises the dynamic-graph path: each mutate op POSTs a
+// small edge-insert batch to /v1/graphs/{name}/edges and then deletes the
+// same batch, so the replayed graph's edge count is conserved. Mutate and
+// upload do not compose in one mix (a replace re-upload between the two
+// halves invalidates the delete).
 //
 // The same -seed always replays the same request sequence, so two builds
 // of the server can be compared on identical traffic.
@@ -54,7 +61,7 @@ func main() {
 		k       = flag.Int("k", 10, "top-k payload size of topk/ppr operations")
 		batch   = flag.Int("batch", 4, "queries per ppr_batch operation")
 		epsilon = flag.Float64("epsilon", 0, "requested PPR epsilon (0 = server default)")
-		mixSpec = flag.String("mix", "", `operation mix, e.g. "topk=50,rank=15,ppr=25,batch=6,recompute=2,upload=2" (default: that profile)`)
+		mixSpec = flag.String("mix", "", `operation mix, e.g. "topk=50,rank=15,ppr=25,batch=6,recompute=2,upload=2" (default: that profile); add mutate=N for edge-update traffic`)
 		upload  = flag.String("upload-file", "", "graph file re-uploaded by upload ops (remote mode; -self uses the generated graph)")
 		out     = flag.String("o", "", "write the JSON report here (default stdout)")
 	)

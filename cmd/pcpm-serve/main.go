@@ -9,13 +9,18 @@
 //	curl -XPOST --data-binary @edges.txt 'localhost:8080/v1/graphs?name=mine'
 //	curl 'localhost:8080/v1/graphs/mine/topk?k=5'
 //	curl -XPOST 'localhost:8080/v1/graphs/mine/ppr' -d '{"seeds":[42],"k":10}'
+//	curl -XPOST 'localhost:8080/v1/graphs/mine/edges' \
+//	     -d '{"insert":[[3,9],[7,1]],"delete":[[4,2]]}'
 //	curl -XPOST 'localhost:8080/v1/graphs/mine/recompute?wait=true' \
 //	     -d '{"damping":0.9}'
 //
 // Graph uploads are capped by -max-upload (default 1 GiB); larger bodies
 // get 413 Request Entity Too Large. Personalized PageRank answers are
 // cached per graph in an LRU sized by -ppr-cache; cache misses borrow
-// engine scratch from a per-graph pool sized by -ppr-pool.
+// engine scratch from a per-graph pool sized by -ppr-pool. Batched edge
+// updates repair the published ranks incrementally (falling back to a full
+// engine run when a batch dirties too much rank mass) and are capped at
+// -max-delta-edges changes per request.
 package main
 
 import (
@@ -48,7 +53,9 @@ func main() {
 			"largest accepted graph upload in bytes; POST /v1/graphs bodies past this are rejected with 413 Request Entity Too Large")
 		pprCache = flag.Int("ppr-cache", 128, "personalized-PageRank answers cached per graph (LRU)")
 		pprPool  = flag.Int("ppr-pool", 4,
-			"idle personalized-PageRank engines retained per graph for cache misses (~33 bytes/node each; negative disables pooling)")
+			"idle personalized-PageRank engines retained per graph for cache misses (~25 bytes/node each; negative disables pooling)")
+		maxDelta = flag.Int("max-delta-edges", 100000,
+			"largest edge-update batch (insertions+deletions) accepted by POST /v1/graphs/{name}/edges; bigger batches get 413 (negative removes the limit)")
 		verbose = flag.Bool("v", false, "debug logging")
 	)
 	var preload []string
@@ -80,6 +87,7 @@ func main() {
 		MaxUploadBytes:    *maxUpload,
 		PPRCacheSize:      *pprCache,
 		PPREnginePoolSize: *pprPool,
+		MaxDeltaEdges:     *maxDelta,
 	})
 
 	for _, spec := range preload {

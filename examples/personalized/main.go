@@ -47,7 +47,7 @@ func main() {
 		res.Rounds, res.SparseRounds, res.DenseRounds, res.ResidualL1)
 
 	// Serving-style reuse: one engine holds the graph-shaped scratch
-	// (~33 bytes/node), and every query brings its own parameters — a
+	// (~25 bytes/node), and every query brings its own parameters — a
 	// quick coarse answer and a high-precision one run on the same scratch
 	// with nothing carried over between calls. This per-call split is what
 	// lets pcpm-serve pool engines across cache-missed queries.

@@ -22,10 +22,10 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/topk"
 )
 
 // DanglingPolicy selects how nodes without out-edges are treated.
@@ -301,23 +301,20 @@ type RankEntry struct {
 	Rank float32
 }
 
-// TopK returns the k highest-ranked nodes in descending rank order
-// (ties broken by node ID for determinism).
+// TopK returns the k highest-ranked nodes in descending rank order (ties
+// broken by node ID for determinism). Selection is the shared O(n log k)
+// heap pass from internal/topk — this sits on the serving hot path for any
+// k past the snapshot's precomputed prefix, where a full O(n log n) sort
+// per request does not fly.
 func TopK(ranks []float32, k int) []RankEntry {
-	if k > len(ranks) {
-		k = len(ranks)
-	}
-	entries := make([]RankEntry, len(ranks))
-	for i, r := range ranks {
-		entries[i] = RankEntry{Node: graph.NodeID(i), Rank: r}
-	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Rank != entries[j].Rank {
-			return entries[i].Rank > entries[j].Rank
-		}
-		return entries[i].Node < entries[j].Node
-	})
-	return entries[:k]
+	return topk.Select(len(ranks), k,
+		func(i int) RankEntry { return RankEntry{Node: graph.NodeID(i), Rank: ranks[i]} },
+		func(a, b RankEntry) bool {
+			if a.Rank != b.Rank {
+				return a.Rank < b.Rank
+			}
+			return a.Node > b.Node
+		})
 }
 
 // L1Diff returns Σ|a_i - b_i|; helper for cross-engine comparisons.

@@ -1,0 +1,75 @@
+package delta
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// BenchmarkDeltaVsRecompute pins the cost model the dynamic-graph subsystem
+// exists for, at matched output precision. Before this subsystem, any
+// structural change was a full re-upload plus an engine run; the recompute
+// side therefore parses the graph's binary upload from scratch and reruns
+// PCPM to the tolerance matching the repair's output quality (the input
+// ranks are converged, and repair preserves that within its epsilon — a
+// fixed 20-iteration rerun would hand back ~4e-2 L1 error, which is not
+// the same deliverable).
+//
+// The incremental side is Apply with defaults: graph.Patch splice plus a
+// single-worker Gauss–Seidel residual drain to epsilon 1e-6, across batch
+// sizes from the streaming case (2 changes) to 0.02% of the edges (32).
+// Small batches must win by a wide margin (the acceptance bar is 5x for
+// small deltas); the win shrinks logarithmically as the batch — and with
+// it the seeded residual mass — grows.
+func BenchmarkDeltaVsRecompute(b *testing.B) {
+	g, err := gen.PreferentialAttachmentMix(20000, 8, 0.3, 42, graph.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Converged baseline: tolerance mode, so both paths start from (and
+	// must hand back) fixed-point-quality ranks.
+	const tol = 1e-7
+	e, err := core.NewPCPM(g, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.RunToConvergence(e, tol, 1000)
+	ranks := e.Ranks()
+	var bin bytes.Buffer
+	if err := graph.WriteBinary(&bin, g); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, half := range []int{1, 4, 16} {
+		d := randomDelta(g, half, 777)
+		b.Run(fmt.Sprintf("incremental-%dedges", 2*half), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Apply(g, ranks, d, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.FellBack {
+					b.Fatalf("incremental path fell back: %s", res.Reason)
+				}
+			}
+		})
+	}
+
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ng, err := graph.ReadBinary(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := core.NewPCPM(ng, core.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			core.RunToConvergence(e, tol, 1000)
+		}
+	})
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Patch returns a new Graph with the given edges inserted and deleted,
+// splicing only the adjacency ranges of changed vertices instead of
+// round-tripping through an edge list and re-sorting every list — the
+// structural half of the dynamic-graph subsystem (internal/delta), where a
+// small batch must not pay an O(m log m) rebuild.
+//
+// Deletions are matched by (Src, Dst) and remove one parallel instance
+// each; deleting a pair the graph does not hold is an error. On weighted
+// graphs a deletion removes the first instance in adjacency order and the
+// CSC side drops the same instance (matched by weight), keeping the two
+// layouts describing the same multigraph; inserted edges with zero weight
+// default to 1. Endpoints must be existing vertices: Patch never grows the
+// node set.
+func Patch(g *Graph, insert, del []Edge) (*Graph, error) {
+	n := g.n
+	if len(insert)+len(del) == 0 {
+		return nil, fmt.Errorf("graph: empty edge patch")
+	}
+	for _, e := range insert {
+		if int64(e.Src) >= int64(n) || int64(e.Dst) >= int64(n) {
+			return nil, fmt.Errorf("graph: patch insert (%d,%d) out of range for %d nodes", e.Src, e.Dst, n)
+		}
+	}
+	for _, e := range del {
+		if int64(e.Src) >= int64(n) || int64(e.Dst) >= int64(n) {
+			return nil, fmt.Errorf("graph: patch delete (%d,%d) out of range for %d nodes", e.Src, e.Dst, n)
+		}
+	}
+	weighted := g.outW != nil
+
+	// Group the changes per source vertex and patch each changed out-list,
+	// recording the weight of every removed instance so the CSC side drops
+	// the same one.
+	srcIns := make(map[NodeID][]Edge)
+	for _, e := range insert {
+		if weighted && e.W == 0 {
+			e.W = 1
+		}
+		srcIns[e.Src] = append(srcIns[e.Src], e)
+	}
+	srcDel := make(map[NodeID][]NodeID, len(del))
+	for _, e := range del {
+		srcDel[e.Src] = append(srcDel[e.Src], e.Dst)
+	}
+	type list struct {
+		adj []NodeID
+		w   []float32
+	}
+	outPatched := make(map[NodeID]list, len(srcIns)+len(srcDel))
+	removedW := make(map[uint64][]float32, len(del)) // (src,dst) key -> removed instance weights
+	for src := range srcIns {
+		outPatched[src] = list{}
+	}
+	for src := range srcDel {
+		outPatched[src] = list{}
+	}
+	for src := range outPatched {
+		adj := append([]NodeID(nil), g.OutNeighbors(src)...)
+		var w []float32
+		if weighted {
+			w = append([]float32(nil), g.OutWeights(src)...)
+		}
+		for _, dst := range srcDel[src] {
+			i := sort.Search(len(adj), func(i int) bool { return adj[i] >= dst })
+			if i >= len(adj) || adj[i] != dst {
+				return nil, fmt.Errorf("graph: patch delete of absent edge (%d,%d)", src, dst)
+			}
+			adj = append(adj[:i], adj[i+1:]...)
+			if weighted {
+				key := uint64(src)<<32 | uint64(dst)
+				removedW[key] = append(removedW[key], w[i])
+				w = append(w[:i], w[i+1:]...)
+			}
+		}
+		for _, e := range srcIns[src] {
+			i := sort.Search(len(adj), func(i int) bool { return adj[i] >= e.Dst })
+			adj = append(adj, 0)
+			copy(adj[i+1:], adj[i:])
+			adj[i] = e.Dst
+			if weighted {
+				w = append(w, 0)
+				copy(w[i+1:], w[i:])
+				w[i] = e.W
+			}
+		}
+		outPatched[src] = list{adj: adj, w: w}
+	}
+
+	// Mirror the changes on the in-lists of changed destinations.
+	dstIns := make(map[NodeID][]Edge)
+	for _, e := range insert {
+		if weighted && e.W == 0 {
+			e.W = 1
+		}
+		dstIns[e.Dst] = append(dstIns[e.Dst], e)
+	}
+	dstDel := make(map[NodeID][]NodeID, len(del))
+	for _, e := range del {
+		dstDel[e.Dst] = append(dstDel[e.Dst], e.Src)
+	}
+	inPatched := make(map[NodeID]list, len(dstIns)+len(dstDel))
+	for dst := range dstIns {
+		inPatched[dst] = list{}
+	}
+	for dst := range dstDel {
+		inPatched[dst] = list{}
+	}
+	for dst := range inPatched {
+		adj := append([]NodeID(nil), g.InNeighbors(dst)...)
+		var w []float32
+		if weighted {
+			w = append([]float32(nil), g.InWeights(dst)...)
+		}
+		for _, src := range dstDel[dst] {
+			i := sort.Search(len(adj), func(i int) bool { return adj[i] >= src })
+			if i >= len(adj) || adj[i] != src {
+				// The out-side delete succeeded, so CSR/CSC disagree.
+				return nil, fmt.Errorf("graph: CSC missing edge (%d,%d) present in CSR", src, dst)
+			}
+			if weighted {
+				// Drop the instance whose weight the out side removed, so the
+				// two layouts keep identical per-pair weight multisets.
+				key := uint64(src)<<32 | uint64(dst)
+				wants := removedW[key]
+				want := wants[0]
+				removedW[key] = wants[1:]
+				j := i
+				for j < len(adj) && adj[j] == src && w[j] != want {
+					j++
+				}
+				if j >= len(adj) || adj[j] != src {
+					j = i // weight drift between sides; drop the first instance
+				}
+				i = j
+				w = append(w[:i], w[i+1:]...)
+			}
+			adj = append(adj[:i], adj[i+1:]...)
+		}
+		for _, e := range dstIns[dst] {
+			i := sort.Search(len(adj), func(i int) bool { return adj[i] >= e.Src })
+			adj = append(adj, 0)
+			copy(adj[i+1:], adj[i:])
+			adj[i] = e.Src
+			if weighted {
+				w = append(w, 0)
+				copy(w[i+1:], w[i:])
+				w[i] = e.W
+			}
+		}
+		inPatched[dst] = list{adj: adj, w: w}
+	}
+
+	m2 := g.m + int64(len(insert)) - int64(len(del))
+	ng := &Graph{
+		n: n, m: m2,
+		outOff: make([]int64, n+1),
+		inOff:  make([]int64, n+1),
+	}
+	// assemble splices the per-vertex ranges. Arrays are built with append
+	// into preallocated capacity so the runtime never zero-fills memory the
+	// copies immediately overwrite.
+	assemble := func(off []int64, oldOff []int64, oldAdj []NodeID, oldW []float32, patched map[NodeID]list) ([]NodeID, []float32) {
+		adj := make([]NodeID, 0, m2)
+		var w []float32
+		if weighted {
+			w = make([]float32, 0, m2)
+		}
+		for v := 0; v < n; v++ {
+			off[v] = int64(len(adj))
+			if lst, ok := patched[NodeID(v)]; ok {
+				adj = append(adj, lst.adj...)
+				if weighted {
+					w = append(w, lst.w...)
+				}
+				continue
+			}
+			lo, hi := oldOff[v], oldOff[v+1]
+			adj = append(adj, oldAdj[lo:hi]...)
+			if weighted {
+				w = append(w, oldW[lo:hi]...)
+			}
+		}
+		off[n] = int64(len(adj))
+		return adj, w
+	}
+	ng.outAdj, ng.outW = assemble(ng.outOff, g.outOff, g.outAdj, g.outW, outPatched)
+	ng.inAdj, ng.inW = assemble(ng.inOff, g.inOff, g.inAdj, g.inW, inPatched)
+	return ng, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randomGraphForPatch builds a small random multigraph (parallel edges and
+// self-loops allowed, like real ingest).
+func randomGraphForPatch(t *testing.T, n, m int, seed uint64) (*Graph, []Edge) {
+	t.Helper()
+	r := rand.New(rand.NewPCG(seed, 99))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: NodeID(r.IntN(n)), Dst: NodeID(r.IntN(n)), W: 1}
+	}
+	g, err := FromEdges(n, edges, false, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, g.Edges()
+}
+
+// TestPatchMatchesRebuild pins Patch against the builder path: splicing the
+// changed ranges must produce exactly the graph a from-scratch rebuild of
+// the edited edge list produces.
+func TestPatchMatchesRebuild(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 13))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + r.IntN(200)
+		g, edges := randomGraphForPatch(t, n, 4*n, uint64(trial))
+
+		// Sample deletions from existing edges, insertions at random.
+		var ins, del []Edge
+		picked := map[int]bool{}
+		for len(del) < 5 {
+			i := r.IntN(len(edges))
+			if picked[i] {
+				continue
+			}
+			picked[i] = true
+			del = append(del, edges[i])
+		}
+		for i := 0; i < 7; i++ {
+			ins = append(ins, Edge{Src: NodeID(r.IntN(n)), Dst: NodeID(r.IntN(n)), W: 1})
+		}
+
+		got, err := Patch(g, ins, del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("patched graph invalid: %v", err)
+		}
+
+		kept := make([]Edge, 0, len(edges))
+		remove := map[uint64]int{}
+		for _, e := range del {
+			remove[uint64(e.Src)<<32|uint64(e.Dst)]++
+		}
+		for _, e := range edges {
+			if k := uint64(e.Src)<<32 | uint64(e.Dst); remove[k] > 0 {
+				remove[k]--
+				continue
+			}
+			kept = append(kept, e)
+		}
+		kept = append(kept, ins...)
+		want, err := FromEdges(n, kept, false, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: patched graph differs from rebuilt graph", trial)
+		}
+	}
+}
+
+func TestPatchErrors(t *testing.T) {
+	g, _ := randomGraphForPatch(t, 10, 30, 1)
+	if _, err := Patch(g, nil, nil); err == nil {
+		t.Fatal("empty patch: want error")
+	}
+	if _, err := Patch(g, []Edge{{Src: 10, Dst: 0}}, nil); err == nil {
+		t.Fatal("out-of-range insert: want error")
+	}
+	if _, err := Patch(g, nil, []Edge{{Src: 0, Dst: 10}}); err == nil {
+		t.Fatal("out-of-range delete: want error")
+	}
+	// Find an absent pair.
+	for s := 0; s < 10; s++ {
+		present := map[NodeID]bool{}
+		for _, d := range g.OutNeighbors(NodeID(s)) {
+			present[d] = true
+		}
+		for d := 0; d < 10; d++ {
+			if !present[NodeID(d)] {
+				if _, err := Patch(g, nil, []Edge{{Src: NodeID(s), Dst: NodeID(d)}}); err == nil {
+					t.Fatal("absent-edge delete: want error")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestPatchWeighted(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 2.0)
+	b.AddWeightedEdge(0, 1, 3.0) // parallel, different weight
+	b.AddWeightedEdge(1, 2, 5.0)
+	g, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := Patch(g,
+		[]Edge{{Src: 2, Dst: 3}}, // zero weight defaults to 1
+		[]Edge{{Src: 0, Dst: 1}}) // removes one parallel instance
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatalf("patched weighted graph invalid: %v", err)
+	}
+	if ng.OutDegree(0) != 1 {
+		t.Fatalf("out-degree(0) = %d, want 1 surviving parallel instance", ng.OutDegree(0))
+	}
+	// The surviving instance keeps a weight from the original pair, and the
+	// CSC side agrees with the CSR side.
+	outW := ng.OutWeights(0)[0]
+	if outW != 2.0 && outW != 3.0 {
+		t.Fatalf("surviving weight = %v, want 2.0 or 3.0", outW)
+	}
+	if inW := ng.InWeights(1)[0]; inW != outW {
+		t.Fatalf("CSC weight %v disagrees with CSR weight %v", inW, outW)
+	}
+	if w := ng.OutWeights(2); len(w) != 1 || w[0] != 1.0 {
+		t.Fatalf("inserted edge weights = %v, want [1] (zero weight defaults to 1)", w)
+	}
+	if w := ng.OutWeights(1); len(w) != 1 || w[0] != 5.0 {
+		t.Fatalf("untouched out-weights(1) = %v, want [5]", w)
+	}
+}

@@ -2,8 +2,10 @@
 // rank-serving daemon (cmd/pcpm-serve). From one integer seed it derives a
 // fixed schedule of mixed traffic — top-k and single-vertex reads,
 // single and batch personalized PageRank queries with Zipf-skewed seed
-// sets, periodic recomputes, and graph re-uploads — replays it against a
-// live server over HTTP with bounded concurrency, and reports per-endpoint
+// sets, batched edge mutations (each insert batch paired with a delete of
+// the same batch, so the graph's edge count is conserved over the replay),
+// periodic recomputes, and graph re-uploads — replays it against a live
+// server over HTTP with bounded concurrency, and reports per-endpoint
 // latency percentiles, error counts, and (in-process targets only)
 // allocations per operation.
 //
@@ -31,7 +33,9 @@ import (
 	"time"
 )
 
-// OpKind names one replay operation; kinds map 1:1 to serving endpoints.
+// OpKind names one replay operation; kinds map to serving endpoints
+// (mutate issues two requests to the edges endpoint: an insert batch and
+// its matching delete).
 type OpKind string
 
 // The operation kinds of a mixed workload.
@@ -40,27 +44,36 @@ const (
 	OpRank      OpKind = "rank"
 	OpPPR       OpKind = "ppr"
 	OpPPRBatch  OpKind = "ppr_batch"
+	OpMutate    OpKind = "mutate"
 	OpRecompute OpKind = "recompute"
 	OpUpload    OpKind = "upload"
 )
 
 // opKinds is the fixed aggregation order of reports.
-var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpRecompute, OpUpload}
+var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute, OpUpload}
 
 // Mix holds the relative weights of each operation kind in the schedule.
 // Weights are proportions, not percentages; the zero value of a field
 // removes that kind from the replay.
+//
+// Mutate and Upload do not compose in one mix: a mutate op deletes the
+// edges it inserted with a second request, and a concurrent re-upload
+// (replace) resets the graph between the two, making the delete fail. Use
+// one or the other per replay.
 type Mix struct {
 	TopK      int `json:"topk"`
 	Rank      int `json:"rank"`
 	PPR       int `json:"ppr"`
 	PPRBatch  int `json:"ppr_batch"`
+	Mutate    int `json:"mutate"`
 	Recompute int `json:"recompute"`
 	Upload    int `json:"upload"`
 }
 
 // DefaultMix is a read-heavy serving profile: mostly cached global reads,
-// a solid share of personalized queries, and rare mutations.
+// a solid share of personalized queries, and rare mutations. Mutate is off
+// by default (it conflicts with Upload, see Mix); select it explicitly
+// with a mutation-mix spec like "topk=40,ppr=20,mutate=20,recompute=5".
 func DefaultMix() Mix {
 	return Mix{TopK: 50, Rank: 15, PPR: 25, PPRBatch: 6, Recompute: 2, Upload: 2}
 }
@@ -75,6 +88,7 @@ func ParseMix(spec string) (Mix, error) {
 		string(OpPPR):       &m.PPR,
 		string(OpPPRBatch):  &m.PPRBatch,
 		"batch":             &m.PPRBatch, // shorthand
+		string(OpMutate):    &m.Mutate,
 		string(OpRecompute): &m.Recompute,
 		string(OpUpload):    &m.Upload,
 	}
@@ -110,6 +124,8 @@ func (m Mix) weight(k OpKind) int {
 		return m.PPR
 	case OpPPRBatch:
 		return m.PPRBatch
+	case OpMutate:
+		return m.Mutate
 	case OpRecompute:
 		return m.Recompute
 	case OpUpload:
@@ -205,6 +221,10 @@ type Op struct {
 	// Seeds holds the seed sets of a ppr (one set) or ppr_batch (several)
 	// operation.
 	Seeds [][]uint32
+	// Edges holds the [src, dst] pairs of a mutate operation: the op first
+	// inserts them, then deletes the same batch, exercising both delta
+	// paths while leaving the graph's edge count unchanged over the replay.
+	Edges [][2]uint32
 }
 
 // Schedule derives the deterministic operation sequence for cfg. Exported
@@ -255,6 +275,13 @@ func Schedule(cfg Config) ([]Op, error) {
 			op.Seeds = make([][]uint32, cfg.BatchSize)
 			for j := range op.Seeds {
 				op.Seeds[j] = drawSeeds(1 + rng.Intn(3))
+			}
+		case OpMutate:
+			// 1–4 edge changes, endpoints Zipf-skewed toward hubs — churn
+			// concentrates on popular vertices in real mutation streams.
+			op.Edges = make([][2]uint32, 1+rng.Intn(4))
+			for j := range op.Edges {
+				op.Edges[j] = [2]uint32{uint32(zipf.Uint64()), uint32(zipf.Uint64())}
 			}
 		}
 		ops[i] = op
@@ -479,6 +506,17 @@ func (c *client) do(op Op) error {
 	case OpPPRBatch:
 		return c.post(fmt.Sprintf("%s/v1/graphs/%s/ppr", c.cfg.BaseURL, g),
 			"application/json", pprBody(nil, op.Seeds, c.cfg.K, c.cfg.Epsilon))
+	case OpMutate:
+		// Insert the batch, then delete the same batch: both delta paths are
+		// exercised and the replayed graph's edge count is conserved, so a
+		// long replay cannot grow the graph without bound. The delete only
+		// removes instances this op inserted, which keeps concurrent mutate
+		// ops from invalidating each other.
+		url := fmt.Sprintf("%s/v1/graphs/%s/edges", c.cfg.BaseURL, g)
+		if err := c.post(url, "application/json", edgesOpBody("insert", op.Edges)); err != nil {
+			return err
+		}
+		return c.post(url, "application/json", edgesOpBody("delete", op.Edges))
 	case OpRecompute:
 		// Async on purpose: the point is to exercise snapshot swaps (and
 		// engine-pool invalidation) under read load, not to serialize on
@@ -525,6 +563,21 @@ func pprBody(seeds []uint32, batch [][]uint32, k int, epsilon float64) []byte {
 		fmt.Fprintf(&b, `,"epsilon":%g`, epsilon)
 	}
 	b.WriteByte('}')
+	return b.Bytes()
+}
+
+// edgesOpBody marshals one side of a mutate operation ("insert" or
+// "delete") into the edges endpoint's JSON body.
+func edgesOpBody(kind string, edges [][2]uint32) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `{"%s":[`, kind)
+	for i, e := range edges {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "[%d,%d]", e[0], e[1])
+	}
+	b.WriteString("]}")
 	return b.Bytes()
 }
 

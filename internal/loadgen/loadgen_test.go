@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -108,10 +109,15 @@ func TestScheduleShape(t *testing.T) {
 			}
 		}
 	}
-	// Every kind of the default mix appears in a 2000-op schedule.
+	// Every positively-weighted kind of the default mix appears in a
+	// 2000-op schedule (mutate defaults to weight 0 — it conflicts with
+	// upload — so it must be absent).
+	mix := DefaultMix()
 	for _, k := range opKinds {
-		if counts[k] == 0 {
+		if w := mix.weight(k); w > 0 && counts[k] == 0 {
 			t.Fatalf("kind %s absent from schedule (counts %v)", k, counts)
+		} else if w == 0 && counts[k] != 0 {
+			t.Fatalf("zero-weight kind %s scheduled %d times", k, counts[k])
 		}
 	}
 	// The default mix is read-heavy: topk dominates mutations.
@@ -126,11 +132,11 @@ func TestScheduleShape(t *testing.T) {
 }
 
 func TestParseMix(t *testing.T) {
-	m, err := ParseMix("topk=10, ppr=5,batch=2,upload=1")
+	m, err := ParseMix("topk=10, ppr=5,batch=2,mutate=3,upload=1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Mix{TopK: 10, PPR: 5, PPRBatch: 2, Upload: 1}
+	want := Mix{TopK: 10, PPR: 5, PPRBatch: 2, Mutate: 3, Upload: 1}
 	if m != want {
 		t.Fatalf("ParseMix = %+v, want %+v", m, want)
 	}
@@ -176,6 +182,81 @@ func TestReplayAgainstServe(t *testing.T) {
 		if ep.Endpoint == string(OpPPR) && ep.AllocsPerOp <= 0 {
 			t.Fatalf("in-process alloc probe reported nothing for ppr: %+v", ep)
 		}
+	}
+}
+
+// TestMutationMixReplay drives the mutate traffic class against a live
+// serving daemon concurrently with reads and recomputes: every insert and
+// its paired delete must succeed, and the graph's edge count must return to
+// its start state once the replay drains.
+func TestMutationMixReplay(t *testing.T) {
+	cfg := testTarget(t)
+	cfg.Ops = 120
+	cfg.Concurrency = 4
+	cfg.UploadBody = nil // mutate and upload do not compose; see Mix
+	cfg.Mix = Mix{TopK: 5, Rank: 2, PPR: 3, Mutate: 5, Recompute: 1}
+
+	// Pin the schedule shape first: mutate ops carry 1–4 in-range pairs.
+	ops, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutates := 0
+	for _, op := range ops {
+		if op.Kind != OpMutate {
+			continue
+		}
+		mutates++
+		if len(op.Edges) < 1 || len(op.Edges) > 4 {
+			t.Fatalf("mutate op has %d edges, want 1..4", len(op.Edges))
+		}
+		for _, e := range op.Edges {
+			if int(e[0]) >= cfg.Nodes || int(e[1]) >= cfg.Nodes {
+				t.Fatalf("mutate edge %v out of range [0,%d)", e, cfg.Nodes)
+			}
+		}
+	}
+	if mutates == 0 {
+		t.Fatal("mutation mix scheduled no mutate ops")
+	}
+
+	edgeCount := func() int64 {
+		t.Helper()
+		resp, err := http.Get(cfg.BaseURL + "/v1/graphs/" + cfg.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info struct {
+			Edges int64 `json:"edges"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		return info.Edges
+	}
+	before := edgeCount()
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("mutation replay saw %d errors: %+v", rep.Errors, rep.Endpoints)
+	}
+	found := false
+	for _, ep := range rep.Endpoints {
+		if ep.Endpoint == string(OpMutate) {
+			found = ep.Count == mutates
+		}
+	}
+	if !found {
+		t.Fatalf("mutate endpoint missing or miscounted in report: %+v", rep.Endpoints)
+	}
+
+	// Every insert batch was deleted again: the edge count is conserved.
+	if after := edgeCount(); after != before {
+		t.Fatalf("post-replay edge count = %d, want %d (conserved)", after, before)
 	}
 }
 

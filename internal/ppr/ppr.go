@@ -42,6 +42,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/partition"
+	"repro/internal/topk"
 )
 
 // Defaults mirroring the global engines where the concepts coincide.
@@ -237,7 +238,7 @@ type update struct {
 
 // Engine holds only the graph-shaped scratch state of the push computation
 // (score/residual arrays, frontier bins, per-worker scatter buffers) — about
-// 33 bytes per node plus the frontier structures. Nothing query-specific is
+// 25 bytes per node plus the frontier structures. Nothing query-specific is
 // baked in at construction, so one Engine serves queries with any mix of
 // RunOptions and a caller serving many queries over one graph (or a pool of
 // borrowed engines, like the serving layer) reuses its allocations. An
@@ -250,7 +251,6 @@ type Engine struct {
 
 	p, r   []float64 // estimate and residual, indexed by node
 	scaled []float64 // dense rounds: r[v]/outdeg(v) scratch
-	newr   []float64 // dense rounds: next residual scratch
 
 	frontier   [][]graph.NodeID // per-partition active-vertex bins
 	inFrontier []bool
@@ -292,7 +292,6 @@ func New(g *graph.Graph, opts EngineOptions) (*Engine, error) {
 		p:          make([]float64, n),
 		r:          make([]float64, n),
 		scaled:     make([]float64, n),
-		newr:       make([]float64, n),
 		frontier:   make([][]graph.NodeID, layout.K()),
 		inFrontier: make([]bool, n),
 		bufs:       make([][][]update, opts.Workers),
@@ -309,6 +308,20 @@ func New(g *graph.Graph, opts EngineOptions) (*Engine, error) {
 
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Rebind points the engine at a different graph with the same node count,
+// reusing all scratch allocations. The partition layout depends only on
+// the node count and partition size, so it carries over unchanged. This is
+// the dynamic-graph case: every applied edge delta publishes a new
+// structure over a fixed node set, and the repair engine must not pay an
+// O(n) reallocation per mutation.
+func (e *Engine) Rebind(g *graph.Graph) error {
+	if g.NumNodes() != e.g.NumNodes() {
+		return fmt.Errorf("ppr: rebind to %d nodes, engine built for %d", g.NumNodes(), e.g.NumNodes())
+	}
+	e.g = g
+	return nil
+}
 
 // Width returns the engine's worker capacity (EngineOptions.Workers after
 // defaulting); Run calls are clamped to it.
@@ -370,23 +383,101 @@ func (e *Engine) Run(seeds []graph.NodeID, ro RunOptions) (*Result, error) {
 	// thresh is the per-vertex activation bar: with no vertex above it, the
 	// total leftover residual is below Epsilon, which is the L1 guarantee.
 	thresh := ro.Epsilon / float64(e.g.NumNodes())
-	var residual float64
 	for _, s := range seedSet {
 		e.addResidual(s, seedW, thresh)
 	}
-	residual = 1
 
 	res := &Result{}
-	// The phase closures are created once per Run and reused by every
+	rs := &roundState{alpha: 1 - ro.Damping, thresh: thresh, seedW: seedW, seeds: seedSet}
+	e.drain(rs, ro, workers, 1, res)
+	e.finish(rs, res, ro, start)
+	return res, nil
+}
+
+// ResidualSeed is one signed residual contribution for Repair: positive mass
+// raises downstream estimates, negative mass (the effect of a deleted edge
+// or a grown out-degree) lowers them.
+type ResidualSeed struct {
+	Node graph.NodeID
+	Mass float64
+}
+
+// Repair drains an arbitrary signed residual seeding on top of a prior rank
+// estimate — the incremental-update primitive behind internal/delta. The
+// push invariant is linear in the residual, so it holds for signed mass
+// unchanged; activation and termination use |r| instead of r. Unlike Run,
+// dangling residual mass leaks (vanishes) rather than teleporting to seeds,
+// matching the global engines' default dangling formulation (eq. 1 of the
+// paper has no correction term), and there is no seed distribution at all.
+//
+// estimate must have exactly one entry per node; it is widened to float64
+// internally and Result.Scores carries the repaired vector (unless TopOnly).
+// Seed nodes should be distinct — duplicates stay correct but overcount the
+// internal residual bound, delaying the early exit. Like Run, Repair clears
+// all per-query state on entry, so pooled engines carry nothing over.
+func (e *Engine) Repair(estimate []float32, seeds []ResidualSeed, ro RunOptions) (*Result, error) {
+	start := time.Now()
+	ro = ro.withDefaults()
+	if err := ro.validate(); err != nil {
+		return nil, err
+	}
+	n := e.g.NumNodes()
+	if len(estimate) != n {
+		return nil, fmt.Errorf("ppr: estimate length %d, want %d nodes", len(estimate), n)
+	}
+	for _, s := range seeds {
+		if int64(s.Node) >= int64(n) {
+			return nil, fmt.Errorf("ppr: repair seed vertex %d out of range [0,%d)", s.Node, n)
+		}
+	}
+	workers := ro.Workers
+	if workers == 0 || workers > e.width {
+		workers = e.width
+	}
+	e.reset()
+	for i, v := range estimate {
+		e.p[i] = float64(v)
+	}
+	thresh := ro.Epsilon / float64(n)
+	for _, s := range seeds {
+		e.r[s.Node] += s.Mass
+	}
+	// residual is an upper bound on the signed system's total |r| mass; it
+	// only shrinks as pushes deliver or leak mass, so it is a valid early
+	// exit alongside the per-vertex frontier threshold.
+	var residual float64
+	for _, s := range seeds {
+		rv := e.r[s.Node]
+		if rv < 0 {
+			rv = -rv
+		}
+		residual += rv
+		if !e.inFrontier[s.Node] && rv > thresh {
+			e.inFrontier[s.Node] = true
+			pi := e.layout.PartitionOf(s.Node)
+			e.frontier[pi] = append(e.frontier[pi], s.Node)
+		}
+	}
+
+	res := &Result{}
+	rs := &roundState{alpha: 1 - ro.Damping, thresh: thresh, signed: true}
+	e.drain(rs, ro, workers, residual, res)
+	e.finish(rs, res, ro, start)
+	return res, nil
+}
+
+// drain is the shared scatter/gather round loop of Run and Repair. residual
+// enters as an upper bound on the remaining |r| mass and is maintained as
+// one across rounds.
+func (e *Engine) drain(rs *roundState, ro RunOptions, workers int, residual float64, res *Result) {
+	// The phase closures are created once per drain and reused by every
 	// round: a query can run thousands of rounds, and closure construction
 	// inside the loop was a measurable share of the serving miss path's
 	// allocations.
-	rs := &roundState{alpha: 1 - ro.Damping, thresh: thresh, seedW: seedW, seeds: seedSet}
 	scatter := func(w, sp int) { e.scatterPartition(rs, w, sp) }
 	gather := func(dp int) { e.gatherPartition(rs, dp) }
 	denseScale := func(w, lo, hi int) { e.denseScale(rs, w, lo, hi) }
-	densePull := func(_, lo, hi int) { e.densePull(rs, lo, hi) }
-	denseRebuild := func(w, pi int) { e.denseRebuild(rs, w, pi) }
+	densePullRebuild := func(w, pi int) { e.densePullRebuild(rs, w, pi) }
 	for res.Rounds < ro.MaxRounds {
 		active := 0
 		for _, f := range e.frontier {
@@ -401,7 +492,18 @@ func (e *Engine) Run(seeds []graph.NodeID, ro RunOptions) (*Result, error) {
 			// full worker set.
 			res.DenseRounds++
 			rs.workers = workers
-			residual = e.denseRound(rs, denseScale, densePull, denseRebuild)
+			if rs.signed && workers == 1 {
+				// Single-worker Repair rounds use a Gauss–Seidel push sweep:
+				// updates apply immediately, so mass pushed at vertex v
+				// propagates through later vertices within the same sweep —
+				// same invariant, roughly half the sweeps of the Jacobi pull.
+				// Kept out of the (unsigned) query path so a cached PPR
+				// answer never depends on which worker width computed it
+				// beyond float ordering.
+				residual = e.gaussSeidelRound(rs)
+			} else {
+				residual = e.denseRound(rs, denseScale, densePullRebuild)
+			}
 		} else {
 			res.SparseRounds++
 			rs.workers = workers
@@ -411,12 +513,15 @@ func (e *Engine) Run(seeds []graph.NodeID, ro RunOptions) (*Result, error) {
 			residual -= e.sparseRound(rs, scatter, gather)
 		}
 	}
+}
 
+// finish materializes the Result fields shared by Run and Repair.
+func (e *Engine) finish(rs *roundState, res *Result, ro RunOptions, start time.Time) {
 	if !ro.TopOnly {
 		res.Scores = make([]float64, len(e.p))
 		copy(res.Scores, e.p)
 	}
-	res.ResidualL1 = residualMass(e.r)
+	res.ResidualL1 = residualMass(e.r, rs.signed)
 	res.Truncated = res.ResidualL1 > ro.Epsilon
 	for _, c := range e.pushes {
 		res.Pushes += c
@@ -425,7 +530,6 @@ func (e *Engine) Run(seeds []graph.NodeID, ro RunOptions) (*Result, error) {
 		res.Top = TopK(e.p, ro.TopK)
 	}
 	res.Duration = time.Since(start)
-	return res, nil
 }
 
 // reset clears per-query state, keeping allocations.
@@ -467,6 +571,13 @@ type roundState struct {
 	alpha, thresh, seedW float64
 	seeds                []graph.NodeID
 	workers              int // worker count of the current round
+	// tele is the per-seed dangling teleport of the dense round in flight,
+	// precomputed between the scale and pull phases.
+	tele float64
+	// signed selects Repair semantics: residuals may be negative (activation
+	// and accounting use |r|), and dangling residual mass leaks instead of
+	// teleporting to the seed distribution (seeds is nil).
+	signed bool
 }
 
 // sparseRound performs one partition-centric scatter/gather push round and
@@ -518,16 +629,26 @@ func (e *Engine) scatterPartition(rs *roundState, w, sp int) {
 	for _, v := range e.frontier[sp] {
 		e.inFrontier[v] = false
 		rv := e.r[v]
-		if rv <= thresh {
+		mag := rv
+		if rs.signed && mag < 0 {
+			mag = -mag
+		}
+		if mag <= thresh {
 			continue
 		}
 		e.r[v] = 0
 		e.p[v] += alpha * rv
-		dlv += alpha * rv
+		dlv += alpha * mag
 		pushed++
 		lo, hi := outOff[v], outOff[v+1]
 		if lo == hi {
-			dmass += (1 - alpha) * rv
+			if rs.signed {
+				// Repair mode: dangling mass leaks, so all of it leaves the
+				// residual system (counts fully against the residual bound).
+				dlv += (1 - alpha) * mag
+			} else {
+				dmass += (1 - alpha) * rv
+			}
 			continue
 		}
 		share := (1 - alpha) * rv / float64(hi-lo)
@@ -550,7 +671,11 @@ func (e *Engine) gatherPartition(rs *roundState, dp int) {
 		buf := e.bufs[w][dp]
 		for _, u := range buf {
 			e.r[u.dst] += u.val
-			if !e.inFrontier[u.dst] && e.r[u.dst] > thresh {
+			rv := e.r[u.dst]
+			if rs.signed && rv < 0 {
+				rv = -rv
+			}
+			if !e.inFrontier[u.dst] && rv > thresh {
 				e.inFrontier[u.dst] = true
 				e.frontier[dp] = append(e.frontier[dp], u.dst)
 			}
@@ -562,9 +687,9 @@ func (e *Engine) gatherPartition(rs *roundState, dp int) {
 // denseRound performs one residual power iteration — push every vertex at
 // once via a pull over CSC — and returns the remaining residual mass. It is
 // the fallback for frontiers too dense for sparse bookkeeping to pay off.
-// scale, pull, and rebuild are the Run-hoisted wrappers around the three
-// phase bodies below.
-func (e *Engine) denseRound(rs *roundState, scale, pull func(w, lo, hi int), rebuild func(w, pi int)) float64 {
+// scale and pullRebuild are the Run-hoisted wrappers around the two phase
+// bodies below.
+func (e *Engine) denseRound(rs *roundState, scale func(w, lo, hi int), pullRebuild func(w, pi int)) float64 {
 	n, workers := e.g.NumNodes(), rs.workers
 	bounds := staticBounds(e.bounds, n, workers)
 
@@ -577,18 +702,19 @@ func (e *Engine) denseRound(rs *roundState, scale, pull func(w, lo, hi int), reb
 		dmass += e.dangling[w]
 		e.dangling[w] = 0
 	}
-
-	par.ForRanges(bounds, pull)
-	e.r, e.newr = e.newr, e.r
-	for _, s := range rs.seeds {
-		e.r[s] += (1 - rs.alpha) * dmass * rs.seedW
+	// In signed (Repair) mode dangling mass leaks: dmass is simply dropped
+	// instead of teleporting to the seeds.
+	rs.tele = 0
+	if !rs.signed && dmass > 0 {
+		rs.tele = (1 - rs.alpha) * dmass * rs.seedW
 	}
 
-	// Rebuild the frontier bins from scratch: one owner per partition,
-	// accumulating residual mass per worker in delivered.
+	// Pull the next residual and rebuild the frontier bins in one pass:
+	// the pull reads only scaled, so each partition owner writes r in place
+	// — no second residual array, no swap, no separate rebuild sweep.
 	residW := e.delivered[:workers]
 	clear(residW)
-	par.ForDynamicWorker(e.layout.K(), workers, rebuild)
+	par.ForDynamicWorker(e.layout.K(), workers, pullRebuild)
 	var resid float64
 	for _, rr := range residW {
 		resid += rr
@@ -614,26 +740,39 @@ func (e *Engine) denseScale(rs *roundState, w, lo, hi int) {
 	e.dangling[w] += dmass
 }
 
-// densePull is the CSC pull phase over one static vertex range.
-func (e *Engine) densePull(rs *roundState, lo, hi int) {
+// densePullRebuild computes partition pi's next residuals via the CSC pull,
+// applies the dangling teleport to its seeds, and reconstitutes its
+// frontier bin — all as the partition's exclusive owner, worker w.
+func (e *Engine) densePullRebuild(rs *roundState, w, pi int) {
+	lo, hi := e.layout.Bounds(pi)
 	inOff, inAdj := e.g.InOffsets(), e.g.InAdjacency()
+	f := e.frontier[pi][:0]
+	var seeds []graph.NodeID
+	if rs.tele > 0 {
+		s := rs.seeds
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= lo })
+		j := sort.Search(len(s), func(i int) bool { return s[i] >= hi })
+		seeds = s[i:j]
+	}
+	si := 0
+	var resid float64
 	for v := lo; v < hi; v++ {
 		var sum float64
 		for _, u := range inAdj[inOff[v]:inOff[v+1]] {
 			sum += e.scaled[u]
 		}
-		e.newr[v] = (1 - rs.alpha) * sum
-	}
-}
-
-// denseRebuild reconstitutes partition pi's frontier bin as worker w.
-func (e *Engine) denseRebuild(rs *roundState, w, pi int) {
-	lo, hi := e.layout.Bounds(pi)
-	f := e.frontier[pi][:0]
-	var resid float64
-	for v := lo; v < hi; v++ {
-		resid += e.r[v]
-		if e.r[v] > rs.thresh {
+		nr := (1 - rs.alpha) * sum
+		if si < len(seeds) && v == seeds[si] {
+			nr += rs.tele
+			si++
+		}
+		e.r[v] = nr
+		mag := nr
+		if rs.signed && mag < 0 {
+			mag = -mag
+		}
+		resid += mag
+		if mag > rs.thresh {
 			e.inFrontier[v] = true
 			f = append(f, v)
 		} else {
@@ -642,6 +781,75 @@ func (e *Engine) denseRebuild(rs *roundState, w, pi int) {
 	}
 	e.frontier[pi] = f
 	e.delivered[w] += resid
+}
+
+// gaussSeidelRound performs one dense round as a sequential in-place push
+// sweep: every active vertex is pushed once in ID order with its updates
+// applied immediately, so residual mass entering a later vertex still gets
+// pushed within the same sweep. The push invariant is order-agnostic, so
+// this computes the same fixed point as the Jacobi pull — it just drains
+// faster per O(m) sweep. Sequential by construction: only used when the
+// round runs a single worker.
+func (e *Engine) gaussSeidelRound(rs *roundState) float64 {
+	outOff, outAdj := e.g.OutOffsets(), e.g.OutAdjacency()
+	alpha, thresh := rs.alpha, rs.thresh
+	n := e.g.NumNodes()
+	var dmass float64
+	var pushed int64
+	for v := 0; v < n; v++ {
+		rv := e.r[v]
+		mag := rv
+		if rs.signed && mag < 0 {
+			mag = -mag
+		}
+		if mag <= thresh {
+			continue
+		}
+		e.r[v] = 0
+		e.p[v] += alpha * rv
+		pushed++
+		lo, hi := outOff[v], outOff[v+1]
+		if lo == hi {
+			// Collected in full here; the α-delivery already happened and the
+			// teleport below applies the (1−α) factor. Signed mode leaks.
+			if !rs.signed {
+				dmass += rv
+			}
+			continue
+		}
+		share := (1 - alpha) * rv / float64(hi-lo)
+		for _, u := range outAdj[lo:hi] {
+			e.r[u] += share
+		}
+	}
+	e.pushes[0] += pushed
+	if !rs.signed && dmass > 0 {
+		tele := (1 - alpha) * dmass * rs.seedW
+		for _, s := range rs.seeds {
+			e.r[s] += tele
+		}
+	}
+	// Rebuild the frontier bins and the exact remaining residual.
+	var resid float64
+	for pi := 0; pi < e.layout.K(); pi++ {
+		lo, hi := e.layout.Bounds(pi)
+		f := e.frontier[pi][:0]
+		for v := lo; v < hi; v++ {
+			rv := e.r[v]
+			if rs.signed && rv < 0 {
+				rv = -rv
+			}
+			resid += rv
+			if rv > thresh {
+				e.inFrontier[v] = true
+				f = append(f, v)
+			} else {
+				e.inFrontier[v] = false
+			}
+		}
+		e.frontier[pi] = f
+	}
+	return resid
 }
 
 // staticBounds splits [0, n) into one contiguous range per worker, writing
@@ -662,73 +870,29 @@ func staticBounds(scratch []int, n, workers int) []int {
 	return b
 }
 
-func residualMass(r []float64) float64 {
+func residualMass(r []float64, signed bool) float64 {
 	var total float64
 	for _, v := range r {
+		if signed && v < 0 {
+			v = -v
+		}
 		total += v
 	}
 	return total
 }
 
 // TopK returns the k highest-scoring vertices in descending score order
-// (ties broken by node ID for determinism). It keeps a k-sized min-heap
-// over one pass of the scores — O(n log k), not a full O(n log n) sort —
-// because serving-path queries extract a handful of entries from vectors
-// with millions of nodes.
+// (ties broken by node ID for determinism), via the shared O(n log k) heap
+// selection in internal/topk.
 func TopK(scores []float64, k int) []Entry {
-	if k > len(scores) {
-		k = len(scores)
-	}
-	if k <= 0 {
-		return []Entry{}
-	}
-	// worse reports whether a ranks below b in the final ordering; the heap
-	// root is always the current worst of the kept k.
-	worse := func(a, b Entry) bool {
-		if a.Score != b.Score {
-			return a.Score < b.Score
-		}
-		return a.Node > b.Node
-	}
-	h := make([]Entry, 0, k)
-	siftDown := func(i int) {
-		for {
-			c := 2*i + 1
-			if c >= len(h) {
-				return
+	return topk.Select(len(scores), k,
+		func(i int) Entry { return Entry{Node: graph.NodeID(i), Score: scores[i]} },
+		func(a, b Entry) bool {
+			if a.Score != b.Score {
+				return a.Score < b.Score
 			}
-			if c+1 < len(h) && worse(h[c+1], h[c]) {
-				c++
-			}
-			if !worse(h[c], h[i]) {
-				return
-			}
-			h[i], h[c] = h[c], h[i]
-			i = c
-		}
-	}
-	for i, s := range scores {
-		e := Entry{Node: graph.NodeID(i), Score: s}
-		if len(h) < k {
-			h = append(h, e)
-			for c := len(h) - 1; c > 0; {
-				p := (c - 1) / 2
-				if !worse(h[c], h[p]) {
-					break
-				}
-				h[c], h[p] = h[p], h[c]
-				c = p
-			}
-			continue
-		}
-		if worse(e, h[0]) {
-			continue
-		}
-		h[0] = e
-		siftDown(0)
-	}
-	sort.Slice(h, func(i, j int) bool { return worse(h[j], h[i]) })
-	return h
+			return a.Node > b.Node
+		})
 }
 
 // Run is the stateless single-query entry point: it builds an Engine,

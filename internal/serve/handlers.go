@@ -10,6 +10,8 @@ import (
 	"time"
 
 	pcpm "repro"
+	"repro/internal/delta"
+	"repro/internal/graph"
 )
 
 // Handler returns the server's HTTP API:
@@ -22,6 +24,7 @@ import (
 //	GET    /v1/graphs/{name}/topk?k=K      top-K ranked nodes
 //	GET    /v1/graphs/{name}/rank/{vertex} one vertex's rank
 //	POST   /v1/graphs/{name}/ppr           personalized PageRank (single or batch seeds)
+//	POST   /v1/graphs/{name}/edges         apply a batched edge delta (JSON insert/delete pairs)
 //	POST   /v1/graphs/{name}/recompute     re-run the engine (JSON options)
 //
 // The handler chain wraps the mux with panic recovery and request logging.
@@ -35,6 +38,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{name}/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/graphs/{name}/rank/{vertex}", s.handleRank)
 	mux.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleEdges)
 	mux.HandleFunc("POST /v1/graphs/{name}/recompute", s.handleRecompute)
 	// recoverer sits inside the logger so a panicking request still gets an
 	// access-log line (with the 500 the recoverer writes).
@@ -61,7 +65,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			"missing or invalid ?name= (want [a-zA-Z0-9._-]{1,128})")
 		return
 	}
-	opts, err := s.optionsFromQuery(q)
+	// Parse AND validate the engine options before touching the body: a
+	// request with ?damping=1.5 or ?iterations=-5 must get its 400 without
+	// the server reading (and the client sending) a multi-gigabyte upload.
+	ov, err := overridesFromQuery(q)
+	if err == nil {
+		err = ov.Validate()
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -89,7 +99,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("parsing graph: %v", err))
 		return
 	}
-	info, err := s.AddGraph(name, g, opts, replace)
+	info, err := s.IngestGraph(name, g, ov, replace)
 	if err != nil {
 		if errors.Is(err, ErrExists) {
 			writeError(w, http.StatusConflict, err.Error())
@@ -259,6 +269,7 @@ type recomputeRequest struct {
 	Workers      *int     `json:"workers,omitempty"`
 	Redistribute *bool    `json:"redistribute,omitempty"`
 	Compact      *bool    `json:"compact,omitempty"`
+	Branching    *bool    `json:"branching,omitempty"`
 	Wait         bool     `json:"wait,omitempty"`
 }
 
@@ -284,6 +295,7 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		Workers:              req.Workers,
 		RedistributeDangling: req.Redistribute,
 		CompactIDs:           req.Compact,
+		BranchingGather:      req.Branching,
 	}
 	if req.Method != nil {
 		m := pcpm.Method(*req.Method)
@@ -317,44 +329,117 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
-// optionsFromQuery parses engine options from ingest query parameters.
-// Booleans are tri-state: absent inherits the server default, an explicit
-// =true/=false overrides it either way.
-func (s *Server) optionsFromQuery(q url.Values) (pcpm.Options, error) {
-	var o pcpm.Options
-	o.Method = pcpm.Method(q.Get("method"))
+// overridesFromQuery parses engine options from ingest query parameters
+// into tri-state Overrides: an absent key inherits the server default, a
+// present one overrides it either way (booleans included — ?compact=false
+// beats a server-wide default of true). The caller validates the result
+// with Overrides.Validate before any body is read.
+func overridesFromQuery(q url.Values) (Overrides, error) {
+	var ov Overrides
+	if v := q.Get("method"); v != "" {
+		m := pcpm.Method(v)
+		ov.Method = &m
+	}
 	var err error
-	parseF := func(key string, dst *float64) {
+	parseF := func(key string) *float64 {
 		if err != nil || q.Get(key) == "" {
-			return
+			return nil
 		}
-		if *dst, err = strconv.ParseFloat(q.Get(key), 64); err != nil {
-			err = fmt.Errorf("bad ?%s=%q: %v", key, q.Get(key), err)
+		v, perr := strconv.ParseFloat(q.Get(key), 64)
+		if perr != nil {
+			err = fmt.Errorf("bad ?%s=%q: %v", key, q.Get(key), perr)
+			return nil
 		}
+		return &v
 	}
-	parseI := func(key string, dst *int) {
+	parseI := func(key string) *int {
 		if err != nil || q.Get(key) == "" {
-			return
+			return nil
 		}
-		if *dst, err = strconv.Atoi(q.Get(key)); err != nil {
-			err = fmt.Errorf("bad ?%s=%q: %v", key, q.Get(key), err)
+		v, perr := strconv.Atoi(q.Get(key))
+		if perr != nil {
+			err = fmt.Errorf("bad ?%s=%q: %v", key, q.Get(key), perr)
+			return nil
 		}
+		return &v
 	}
-	parseF("damping", &o.Damping)
-	parseF("tolerance", &o.Tolerance)
-	parseI("iterations", &o.Iterations)
-	parseI("partition", &o.PartitionBytes)
-	parseI("workers", &o.Workers)
-	o.RedistributeDangling = s.cfg.Defaults.RedistributeDangling
-	o.CompactIDs = s.cfg.Defaults.CompactIDs
-	o.BranchingGather = s.cfg.Defaults.BranchingGather
-	if q.Has("redistribute") {
-		o.RedistributeDangling = q.Get("redistribute") == "true"
+	parseB := func(key string) *bool {
+		if !q.Has(key) {
+			return nil
+		}
+		v := q.Get(key) == "true"
+		return &v
 	}
-	if q.Has("compact") {
-		o.CompactIDs = q.Get("compact") == "true"
+	ov.Damping = parseF("damping")
+	ov.Tolerance = parseF("tolerance")
+	ov.Iterations = parseI("iterations")
+	ov.PartitionBytes = parseI("partition")
+	ov.Workers = parseI("workers")
+	ov.RedistributeDangling = parseB("redistribute")
+	ov.CompactIDs = parseB("compact")
+	ov.BranchingGather = parseB("branching")
+	return ov, err
+}
+
+// edgesRequest is the JSON body of POST .../edges: batched structural
+// changes as [src, dst] pairs. At least one of insert or delete must be
+// non-empty; endpoints must name existing vertices (the node set never
+// grows through a delta — re-upload for that).
+type edgesRequest struct {
+	Insert [][]uint32 `json:"insert,omitempty"`
+	Delete [][]uint32 `json:"delete,omitempty"`
+}
+
+func pairsToEdges(kind string, pairs [][]uint32) ([]graph.Edge, error) {
+	if len(pairs) == 0 {
+		return nil, nil
 	}
-	return o, err
+	out := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("bad %s[%d]: want a [src, dst] pair, got %d elements", kind, i, len(p))
+		}
+		out[i] = graph.Edge{Src: p[0], Dst: p[1], W: 1}
+	}
+	return out, nil
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req edgesRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+		return
+	}
+	var d delta.EdgeDelta
+	var err error
+	if d.Insert, err = pairsToEdges("insert", req.Insert); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if d.Delete, err = pairsToEdges("delete", req.Delete); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, err := s.ApplyEdgeDelta(name, d)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrDeltaTooLarge):
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.Is(err, ErrBadDelta):
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	// DeltaStatus carries its own JSON tags; serializing it directly keeps
+	// the wire form from drifting out of sync with the struct.
+	writeJSON(w, http.StatusOK, st)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -194,7 +194,7 @@ func normalizePPRLimits(k int, epsilon float64) (int, float64, error) {
 }
 
 // enginePool retains idle personalized-PageRank engines for one graph so a
-// cache-missed query borrows warm scratch (~33 bytes/node) instead of
+// cache-missed query borrows warm scratch (~25 bytes/node) instead of
 // allocating it. Engines are shaped by the snapshot options that were
 // current when they were built, so the pool is keyed by snapshot version:
 // a recompute or re-upload publishes a new version and the retained
@@ -267,7 +267,7 @@ func (s *Server) borrowEngine(e *entry, snap *Snapshot) (*pcpm.PPREngine, error)
 			return eng, nil
 		}
 	}
-	return pcpm.NewPPREngine(e.g, pcpm.PPREngineOptions{
+	return pcpm.NewPPREngine(snap.Graph, pcpm.PPREngineOptions{
 		PartitionBytes: snap.Options.PartitionBytes,
 		Workers:        snap.Options.Workers,
 	})
@@ -371,8 +371,8 @@ func (s *Server) Personalized(name string, seedSets [][]uint32, k int, epsilon f
 	if err != nil {
 		return nil, err
 	}
-	opts := e.snap.Load().Options
-	damping := opts.Damping
+	snap := e.snap.Load()
+	damping := snap.Options.Damping
 	if damping == 0 {
 		damping = ppr.DefaultDamping
 	}
@@ -386,7 +386,7 @@ func (s *Server) Personalized(name string, seedSets [][]uint32, k int, epsilon f
 			return nil, fmt.Errorf("%w: query %d has %d seeds, limit %d",
 				ErrInvalidOptions, i, len(seeds), maxPPRSeedsPerQuery)
 		}
-		cs, err := canonicalSeeds(e.stats.Nodes, seeds)
+		cs, err := canonicalSeeds(snap.Stats.Nodes, seeds)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
@@ -405,6 +405,11 @@ func (s *Server) Personalized(name string, seedSets [][]uint32, k int, epsilon f
 	var owned []*pprInflight        // aligned with missSets
 	followers := make(map[int]*pprInflight)
 	e.mu.Lock()
+	// An edge delta bumping structVersion between here and the insert below
+	// means any answer this request computes describes a graph that no
+	// longer exists; it is still served (the read raced the write) but must
+	// not be cached.
+	structV := e.structVersion
 	for i := range seedSets {
 		if ans, ok := e.ppr.get(keys[i]); ok {
 			ans.Cached = true
@@ -471,10 +476,12 @@ func (s *Server) Personalized(name string, seedSets [][]uint32, k int, epsilon f
 		}
 		for j, fl := range owned {
 			fl.ans = toPPRAnswer(missSets[j], k, results[j])
-			// Only converged answers enter the cache: a run truncated by the
-			// round cap (ResidualL1 above the requested epsilon) is served
-			// once, honestly labeled, but never pinned for repeat queries.
-			if !results[j].Truncated {
+			// Only converged answers computed against the still-current
+			// structure enter the cache: a run truncated by the round cap is
+			// served once, honestly labeled, and a run that raced an edge
+			// delta answered a graph that no longer exists — neither may be
+			// pinned for repeat queries.
+			if !results[j].Truncated && e.structVersion == structV {
 				e.ppr.put(ownedKeys[j], fl.ans)
 			}
 			delete(e.pprWait, ownedKeys[j])

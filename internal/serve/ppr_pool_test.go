@@ -412,7 +412,7 @@ func newTestServerFor(t *testing.T, s *Server) string {
 // BenchmarkPPRServeMiss measures the serving layer's cache-miss path with
 // pooled engines against the fresh-engine baseline (pooling disabled).
 // Every iteration is a cache miss (distinct seed), so the difference is
-// exactly the per-miss engine scratch: pooled borrows ~33 bytes/node of
+// exactly the per-miss engine scratch: pooled borrows ~25 bytes/node of
 // warm arrays plus grown scatter buffers, fresh allocates and regrows them.
 func BenchmarkPPRServeMiss(b *testing.B) {
 	g, err := gen.RMAT(gen.Graph500RMAT(14, 8, 3), graph.BuildOptions{})

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	pcpm "repro"
+	"repro/internal/delta"
 	"repro/internal/graph"
 )
 
@@ -157,5 +158,127 @@ func TestConcurrentTopKWhileRecomputing(t *testing.T) {
 				t.Fatalf("final topk[%d] = %+v, want %+v", j, entries[j], w[j])
 			}
 		}
+	}
+}
+
+// TestConcurrentEdgeDeltasWhileReading is the dynamic-graph contract test:
+// writers apply edge-delta batches (each insert batch followed by a delete
+// of the same batch, so the structure returns to its start state) while
+// readers hammer top-k, single-vertex, and personalized queries. Every read
+// must observe one self-consistent snapshot — ranks sized to the snapshot's
+// own graph, top-k nodes in range — never a blend of pre- and post-delta
+// state. Run with -race (CI does) to exercise the synchronization.
+func TestConcurrentEdgeDeltasWhileReading(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	g := testGraph(t)
+	if _, err := s.AddGraph("er", g, pcpm.Options{}, false); err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(g.NumNodes())
+
+	const (
+		writers         = 2
+		deltasPerWriter = 8
+		readersPerKind  = 2
+		readsPerReader  = 60
+	)
+	var (
+		wg        sync.WaitGroup
+		failMu    sync.Mutex
+		firstFail string
+	)
+	fail := func(msg string) {
+		failMu.Lock()
+		if firstFail == "" {
+			firstFail = msg
+		}
+		failMu.Unlock()
+	}
+
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < deltasPerWriter; i++ {
+				batch := []graph.Edge{
+					{Src: uint32(w*31+i) % n, Dst: uint32(w*17+i*7) % n, W: 1},
+					{Src: uint32(w*13+i*3) % n, Dst: uint32(w*41+i*11) % n, W: 1},
+				}
+				if _, err := s.ApplyEdgeDelta("er", delta.EdgeDelta{Insert: batch}); err != nil {
+					fail("insert delta: " + err.Error())
+					return
+				}
+				if _, err := s.ApplyEdgeDelta("er", delta.EdgeDelta{Delete: batch}); err != nil {
+					fail("delete delta: " + err.Error())
+					return
+				}
+			}
+		}(w)
+	}
+
+	read := func(kind int, r int) {
+		defer wg.Done()
+		for i := 0; i < readsPerReader; i++ {
+			switch kind {
+			case 0:
+				entries, snap, err := s.TopK("er", 10)
+				if err != nil {
+					fail("topk: " + err.Error())
+					return
+				}
+				if len(snap.Ranks) != snap.Graph.NumNodes() || snap.Stats.Nodes != snap.Graph.NumNodes() {
+					fail("snapshot blends graph and ranks of different versions")
+					return
+				}
+				for _, e := range entries {
+					if int(e.Node) >= snap.Graph.NumNodes() {
+						fail("topk entry out of the snapshot's node range")
+						return
+					}
+				}
+			case 1:
+				v := uint32(r*97+i) % n
+				if _, _, err := s.Rank("er", v); err != nil {
+					fail("rank: " + err.Error())
+					return
+				}
+			case 2:
+				seeds := []uint32{uint32(r*13+i) % n}
+				if _, err := s.Personalized("er", [][]uint32{seeds}, 5, 1e-4); err != nil {
+					fail("ppr: " + err.Error())
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}
+	for kind := 0; kind < 3; kind++ {
+		for r := 0; r < readersPerKind; r++ {
+			wg.Add(1)
+			go read(kind, r)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	if firstFail != "" {
+		t.Fatal(firstFail)
+	}
+
+	// All inserts were deleted again: the structure is back to its start,
+	// and the version advanced by exactly the number of mutations.
+	_, snap, err := s.TopK("er", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("final edges = %d, want %d (every insert was deleted)", snap.Graph.NumEdges(), g.NumEdges())
+	}
+	if want := uint64(1 + writers*deltasPerWriter*2); snap.Version != want {
+		t.Fatalf("final version = %d, want %d", snap.Version, want)
 	}
 }

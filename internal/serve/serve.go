@@ -47,18 +47,35 @@ func ValidName(name string) bool { return nameRE.MatchString(name) }
 
 // Snapshot is one immutable, completed PageRank computation. All fields are
 // written before the snapshot is published and never mutated afterwards.
+// Since graphs became dynamic (edge deltas), the snapshot also owns the
+// graph structure its ranks were computed on: readers loading the atomic
+// pointer always see a consistent (structure, ranks) pair, never a blend of
+// pre- and post-delta state.
 type Snapshot struct {
+	// Graph is the structure the ranks were computed on.
+	Graph *graph.Graph
+	// Stats summarizes Graph (precomputed once per publication).
+	Stats graph.Stats
 	// Ranks is the full (unscaled) rank vector, indexed by node ID.
 	Ranks []float32
 	// Options that produced this snapshot.
 	Options pcpm.Options
-	// Method, Iterations, Delta mirror the pcpm.Result fields.
+	// Method, Iterations, Delta mirror the pcpm.Result fields. For a
+	// snapshot published by an incremental edge-delta repair, Iterations
+	// counts repair rounds and Delta carries the undelivered residual.
 	Method     pcpm.Method
 	Iterations int
 	Delta      float64
 	// Version increments with every published snapshot of a graph, starting
 	// at 1 for the ingest-time computation.
 	Version uint64
+	// RepairDrift accumulates the residual error bounds of every
+	// incremental repair since the last full engine run. Each repair adds
+	// at most its epsilon of L1 error on top of the ranks it started from;
+	// this sum is the budget the server spends before forcing a recompute
+	// (see maxRepairDrift), so mutate-heavy workloads cannot drift
+	// unboundedly from the true fixed point. Zero on engine-run snapshots.
+	RepairDrift float64
 	// ComputedAt and ComputeTime record when and how long the engine ran.
 	ComputedAt  time.Time
 	ComputeTime time.Duration
@@ -80,16 +97,16 @@ func (s *Snapshot) TopK(k int) []pcpm.RankEntry {
 	return pcpm.TopK(s.Ranks, k)
 }
 
-// entry is one registered graph plus its serving state.
+// entry is one registered graph plus its serving state. The graph structure
+// itself lives in the snapshot (it changes under edge deltas); the entry
+// holds only the registry identity and the mutable serving machinery.
 type entry struct {
-	name  string
-	g     *graph.Graph
-	stats graph.Stats
+	name string
 
 	snap    atomic.Pointer[Snapshot]
 	version atomic.Uint64
 
-	mu       sync.Mutex // guards inflight, lastErr, ppr, pprWait, and pool
+	mu       sync.Mutex // guards inflight, lastErr, ppr, pprWait, pool, structVersion
 	inflight *inflightRun
 	lastErr  string
 	ppr      *pprCache // LRU of personalized answers keyed by query hash
@@ -99,9 +116,21 @@ type entry struct {
 	// pool holds idle personalized-PageRank engines for this graph, keyed
 	// by the snapshot version whose options shaped them; see enginePool.
 	pool enginePool
+	// structVersion counts structural mutations (edge deltas). A
+	// personalized answer computed against an older structure must not
+	// enter the cache after a mutation landed.
+	structVersion uint64
+	// repairEng is the reusable edge-delta repair engine (rebound to each
+	// delta's rebuilt graph instead of reallocating O(n) scratch per
+	// mutation); repairEngPart records the partition size it was built
+	// with. Only touched while holding the entry's mutation (inflight)
+	// slot, which serializes all writers.
+	repairEng     *pcpm.PPREngine
+	repairEngPart int
 }
 
-// inflightRun is a recompute in progress; coalesced requests share it.
+// inflightRun is a recompute or edge-delta mutation in progress; coalesced
+// recompute requests share it, and further mutations queue behind it.
 type inflightRun struct {
 	done chan struct{} // closed when the run finishes
 	err  error         // valid after done is closed
@@ -123,9 +152,14 @@ type Config struct {
 	// PPREnginePoolSize caps how many idle personalized-PageRank engines
 	// each graph retains for reuse across cache-missed queries (default 4;
 	// negative disables pooling, so every miss allocates fresh scratch).
-	// Engine scratch is ~33 bytes/node, so the worst-case pinned memory per
-	// graph is PPREnginePoolSize × 33 × nodes.
+	// Engine scratch is ~25 bytes/node, so the worst-case pinned memory per
+	// graph is PPREnginePoolSize × 25 × nodes.
 	PPREnginePoolSize int
+	// MaxDeltaEdges caps the edge changes (insertions plus deletions) one
+	// POST /v1/graphs/{name}/edges batch may carry (default 100000;
+	// negative removes the limit). Oversized batches are rejected before
+	// any rebuild or repair work is spent.
+	MaxDeltaEdges int
 }
 
 // Server owns the graph registry and serves rank queries. Create one with
@@ -135,8 +169,13 @@ type Server struct {
 	log     *slog.Logger
 	started time.Time
 
-	mu     sync.RWMutex // guards graphs map (not entry contents)
+	mu     sync.RWMutex // guards graphs and pending maps (not entry contents)
 	graphs map[string]*entry
+	// pending reserves names whose ingest-time computation is still
+	// running: a duplicate ingest fails (or, with replace, waits) on the
+	// reservation instead of burning a second engine run. Each channel is
+	// closed when its ingest settles.
+	pending map[string]chan struct{}
 
 	// computeFn runs one PageRank computation; tests substitute it to make
 	// in-flight recomputes observable and deterministic.
@@ -161,6 +200,7 @@ func New(cfg Config) *Server {
 		log:       log,
 		started:   time.Now(),
 		graphs:    make(map[string]*entry),
+		pending:   make(map[string]chan struct{}),
 		computeFn: pcpm.Run,
 	}
 	s.pprRunFn = s.runPersonalizedMisses
@@ -192,10 +232,10 @@ func (e *entry) info() GraphInfo {
 	e.mu.Unlock()
 	return GraphInfo{
 		Name:        e.name,
-		Nodes:       e.stats.Nodes,
-		Edges:       e.stats.Edges,
-		AvgDegree:   e.stats.AvgDegree,
-		Dangling:    e.stats.Dangling,
+		Nodes:       snap.Stats.Nodes,
+		Edges:       snap.Stats.Edges,
+		AvgDegree:   snap.Stats.AvgDegree,
+		Dangling:    snap.Stats.Dangling,
 		Method:      snap.Method,
 		Iterations:  snap.Iterations,
 		Delta:       snap.Delta,
@@ -208,43 +248,87 @@ func (e *entry) info() GraphInfo {
 }
 
 // AddGraph registers g under name, computes its ranks synchronously with
-// opts (zero fields fall back to the server defaults), and publishes the
-// first snapshot. It fails with ErrExists unless replace is set; the check
-// runs before the engine does, so a duplicate name cannot burn a compute.
+// opts (zero fields fall back to the server defaults, booleans included),
+// and publishes the first snapshot. It fails with ErrExists unless replace
+// is set; the name is reserved before the engine runs, so a duplicate name
+// cannot burn a compute — not even a concurrent duplicate racing the
+// ingest-time computation.
 //
 // Replacing continues the old entry's version sequence so clients using the
 // version as a freshness cursor never see it go backwards. Like Remove, a
 // replace orphans any in-flight recompute of the old entry: that run still
 // finishes (a waiting caller gets its result), but no query will serve it.
+//
+// Because a zero Options field means "inherit the server default", an
+// explicit false cannot be expressed here for the boolean knobs; callers
+// that need tri-state overrides (the HTTP layer does) use IngestGraph.
 func (s *Server) AddGraph(name string, g *graph.Graph, opts pcpm.Options, replace bool) (GraphInfo, error) {
+	return s.addGraph(name, g, s.fillDefaults(opts), replace)
+}
+
+// IngestGraph registers g with tri-state Overrides: nil fields inherit the
+// server defaults (boolean defaults included), non-nil fields win either
+// way — the HTTP ingest path, where ?compact=false must beat a server-wide
+// default of true.
+func (s *Server) IngestGraph(name string, g *graph.Graph, ov Overrides, replace bool) (GraphInfo, error) {
+	if err := ov.Validate(); err != nil {
+		return GraphInfo{}, err
+	}
+	return s.addGraph(name, g, ov.apply(s.fillDefaults(pcpm.Options{})), replace)
+}
+
+// addGraph is the shared ingest path; opts must already be fully resolved.
+func (s *Server) addGraph(name string, g *graph.Graph, opts pcpm.Options, replace bool) (GraphInfo, error) {
 	if !ValidName(name) {
 		return GraphInfo{}, fmt.Errorf("serve: invalid graph name %q", name)
 	}
-	if !replace {
-		s.mu.RLock()
-		_, exists := s.graphs[name]
-		s.mu.RUnlock()
-		if exists {
-			return GraphInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
+	// Reserve the name before computing. A plain duplicate fails here
+	// without spending an engine run; a replace queues behind the in-flight
+	// ingest and then proceeds (replace semantics are last-writer-wins, so
+	// serializing them is the least surprising order).
+	var ch chan struct{}
+	for {
+		s.mu.Lock()
+		cur, busy := s.pending[name]
+		if !busy {
+			if _, exists := s.graphs[name]; exists && !replace {
+				s.mu.Unlock()
+				return GraphInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
+			}
+			ch = make(chan struct{})
+			s.pending[name] = ch
+			s.mu.Unlock()
+			break
 		}
+		s.mu.Unlock()
+		if !replace {
+			return GraphInfo{}, fmt.Errorf("%w: %q (ingest in progress)", ErrExists, name)
+		}
+		<-cur
 	}
-	opts = s.fillDefaults(opts)
+	// Deferred so a panicking computeFn cannot leak the reservation and
+	// wedge the name forever (the HTTP recoverer turns the panic into a
+	// 500; the name must stay ingestable afterwards).
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, name)
+		s.mu.Unlock()
+		close(ch)
+	}()
+
 	e := &entry{
-		name: name, g: g, stats: g.ComputeStats(),
+		name:    name,
 		ppr:     newPPRCache(s.cfg.PPRCacheSize),
 		pprWait: make(map[string]*pprInflight),
 	}
-	snap, err := s.compute(e, g, opts)
+	snap, err := s.compute(e, g, g.ComputeStats(), opts)
 	if err != nil {
 		return GraphInfo{}, err
 	}
 
 	s.mu.Lock()
 	if old, ok := s.graphs[name]; ok {
-		if !replace {
-			s.mu.Unlock()
-			return GraphInfo{}, fmt.Errorf("%w: %q", ErrExists, name)
-		}
+		// Only a replace can reach here: creations hold the reservation.
 		// snap is not yet published, so adjusting its version is safe.
 		snap.Version = old.version.Load() + 1
 		e.version.Store(snap.Version)
@@ -253,8 +337,8 @@ func (s *Server) AddGraph(name string, g *graph.Graph, opts pcpm.Options, replac
 	s.graphs[name] = e
 	s.mu.Unlock()
 
-	s.log.Info("graph loaded", "graph", name, "nodes", e.stats.Nodes,
-		"edges", e.stats.Edges, "method", snap.Method, "compute", snap.ComputeTime)
+	s.log.Info("graph loaded", "graph", name, "nodes", snap.Stats.Nodes,
+		"edges", snap.Stats.Edges, "method", snap.Method, "compute", snap.ComputeTime)
 	return e.info(), nil
 }
 
@@ -351,6 +435,7 @@ type Overrides struct {
 	Workers              *int
 	RedistributeDangling *bool
 	CompactIDs           *bool
+	BranchingGather      *bool
 }
 
 // Validate rejects override values the engines would refuse, wrapping
@@ -411,6 +496,9 @@ func (o Overrides) apply(base pcpm.Options) pcpm.Options {
 	if o.CompactIDs != nil {
 		base.CompactIDs = *o.CompactIDs
 	}
+	if o.BranchingGather != nil {
+		base.BranchingGather = *o.BranchingGather
+	}
 	return base
 }
 
@@ -453,8 +541,11 @@ func (s *Server) Recompute(name string, ov Overrides, wait bool) (RecomputeStatu
 }
 
 // runRecompute executes one coalesced engine run and publishes the result.
+// Holding the inflight slot makes it the only writer of e.snap, so loading
+// the graph here cannot race a delta mutation.
 func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
-	snap, err := s.compute(e, e.g, opts)
+	old := e.snap.Load()
+	snap, err := s.compute(e, old.Graph, old.Stats, opts)
 	if err == nil {
 		e.snap.Store(snap)
 		s.log.Info("recompute done", "graph", e.name, "version", snap.Version,
@@ -479,13 +570,17 @@ func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 }
 
 // compute runs the engine and wraps the result in an unpublished Snapshot.
-func (s *Server) compute(e *entry, g *graph.Graph, opts pcpm.Options) (*Snapshot, error) {
+// stats must describe g; recomputes pass the prior snapshot's stats so an
+// unchanged graph is not re-summarized.
+func (s *Server) compute(e *entry, g *graph.Graph, stats graph.Stats, opts pcpm.Options) (*Snapshot, error) {
 	start := time.Now()
 	res, err := s.computeFn(g, opts)
 	if err != nil {
 		return nil, err
 	}
 	snap := &Snapshot{
+		Graph:       g,
+		Stats:       stats,
 		Ranks:       res.Ranks,
 		Options:     opts,
 		Method:      res.Method,
@@ -527,6 +622,12 @@ func (s *Server) fillDefaults(opts pcpm.Options) pcpm.Options {
 	if opts.MaxIterations == 0 {
 		opts.MaxIterations = d.MaxIterations
 	}
+	// Boolean knobs follow the same zero-means-default contract as every
+	// other field: false inherits the server default. (Callers needing an
+	// explicit false against a true default use IngestGraph's Overrides.)
+	opts.RedistributeDangling = opts.RedistributeDangling || d.RedistributeDangling
+	opts.CompactIDs = opts.CompactIDs || d.CompactIDs
+	opts.BranchingGather = opts.BranchingGather || d.BranchingGather
 	return opts
 }
 

@@ -3,11 +3,14 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	pcpm "repro"
@@ -453,6 +456,165 @@ func TestRecomputeAsyncAndCoalescing(t *testing.T) {
 	}
 	if done.Version < 2 {
 		t.Fatalf("post-release version = %d, want >= 2", done.Version)
+	}
+}
+
+// TestAddGraphConcurrentDuplicateBurnsOneCompute is the TOCTOU regression:
+// two concurrent ingests of the same name used to both pass the pre-compute
+// existence check and both burn a full engine run. The name is now reserved
+// before computing, so the duplicate fails immediately — while the first
+// ingest's engine run is still in flight — and exactly one compute happens.
+func TestAddGraphConcurrentDuplicateBurnsOneCompute(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	g := testGraph(t)
+
+	var computes atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.computeFn = func(g *graph.Graph, o pcpm.Options) (*pcpm.Result, error) {
+		computes.Add(1)
+		once.Do(func() { close(entered) })
+		<-release
+		return pcpm.Run(g, o)
+	}
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := s.AddGraph("dup", g, pcpm.Options{}, false)
+		firstDone <- err
+	}()
+	<-entered
+
+	// The duplicate must fail NOW, with the first compute still gated.
+	if _, err := s.AddGraph("dup", g, pcpm.Options{}, false); !errors.Is(err, ErrExists) {
+		t.Fatalf("concurrent duplicate ingest: err = %v, want ErrExists", err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("duplicate ingest burned a compute: %d engine runs, want 1", n)
+	}
+
+	close(release)
+	if err := <-firstDone; err != nil {
+		t.Fatalf("original ingest failed: %v", err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d engine runs after settle, want 1", n)
+	}
+	// The name is live; a later duplicate still conflicts, a replace works.
+	if _, err := s.AddGraph("dup", g, pcpm.Options{}, false); !errors.Is(err, ErrExists) {
+		t.Fatalf("post-settle duplicate: err = %v, want ErrExists", err)
+	}
+	if info, err := s.AddGraph("dup", g, pcpm.Options{}, true); err != nil || info.Version != 2 {
+		t.Fatalf("replace after ingest: %+v, %v", info, err)
+	}
+}
+
+// TestConcurrentReplacesSerialize pins that replace=true ingests racing an
+// in-flight ingest wait their turn instead of conflicting — the loadtest's
+// re-upload traffic runs concurrently and must not 409.
+func TestConcurrentReplacesSerialize(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	g := testGraph(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.AddGraph("g", g, pcpm.Options{}, true)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent replace %d failed: %v", i, err)
+		}
+	}
+	if _, snap, err := s.TopK("g", 1); err != nil || snap.Version != 4 {
+		t.Fatalf("after 4 replaces: version = %d (err %v), want 4", snap.Version, err)
+	}
+}
+
+// TestIngestValidatesOptionsBeforeBody is the validation regression: bad
+// engine options in the ingest query must 400 before the body is read —
+// and ?iterations=-5 must be rejected instead of silently running the
+// default iteration count.
+func TestIngestValidatesOptionsBeforeBody(t *testing.T) {
+	_, ts := newTestServer(t)
+	g := testGraph(t)
+	body := edgeListBody(t, g)
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	for _, bad := range []struct{ query, wantIn string }{
+		{"iterations=-5", "iterations"},
+		{"damping=1.5", "damping"},
+		{"damping=0", "damping"},
+		{"tolerance=-1", "tolerance"},
+		{"partition=1000", "partition"},
+		{"workers=-2", "workers"},
+		{"method=bogus", "method"},
+	} {
+		url := ts.URL + "/v1/graphs?name=g&" + bad.query
+		if code := doJSON(t, "POST", url, body, &e); code != http.StatusBadRequest {
+			t.Fatalf("?%s with a valid body: status %d, want 400", bad.query, code)
+		}
+		if !strings.Contains(e.Error, bad.wantIn) {
+			t.Fatalf("?%s error = %q, want it to name %q", bad.query, e.Error, bad.wantIn)
+		}
+		// The same 400 with an unparseable body proves the options check runs
+		// before the upload is read: the error is still about the option.
+		if code := doJSON(t, "POST", url, []byte("not a graph"), &e); code != http.StatusBadRequest {
+			t.Fatalf("?%s with a bad body: status %d, want 400", bad.query, code)
+		}
+		if !strings.Contains(e.Error, bad.wantIn) {
+			t.Fatalf("?%s with a bad body: error %q blames the body, not the option", bad.query, e.Error)
+		}
+	}
+	// Nothing got registered along the way.
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/g", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("graph exists after rejected ingests: status %d", code)
+	}
+}
+
+// TestFillDefaultsBoolOverlay is the fillDefaults regression: programmatic
+// AddGraph callers must inherit server-configured bool defaults (including
+// BranchingGather, which used to be dropped entirely), while the HTTP path
+// keeps its tri-state semantics — an explicit =false beats a true default.
+func TestFillDefaultsBoolOverlay(t *testing.T) {
+	opts := testOptions
+	opts.RedistributeDangling = true
+	opts.CompactIDs = true
+	opts.BranchingGather = true
+	s := New(Config{Defaults: opts})
+	g := testGraph(t)
+
+	if _, err := s.AddGraph("plain", g, pcpm.Options{}, false); err != nil {
+		t.Fatal(err)
+	}
+	_, snap, err := s.TopK("plain", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Options.RedistributeDangling || !snap.Options.CompactIDs || !snap.Options.BranchingGather {
+		t.Fatalf("programmatic AddGraph lost bool defaults: %+v", snap.Options)
+	}
+
+	// HTTP ingest with explicit =false must override the true defaults.
+	ts := newHTTPServer(t, s)
+	var info GraphInfo
+	url := ts + "/v1/graphs?name=explicit&redistribute=false&compact=false&branching=false"
+	if code := doJSON(t, "POST", url, edgeListBody(t, g), &info); code != http.StatusCreated {
+		t.Fatalf("ingest status %d", code)
+	}
+	_, snap, err = s.TopK("explicit", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Options.RedistributeDangling || snap.Options.CompactIDs || snap.Options.BranchingGather {
+		t.Fatalf("explicit =false lost to server defaults: %+v", snap.Options)
 	}
 }
 

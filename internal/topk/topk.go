@@ -1,0 +1,66 @@
+// Package topk provides the one top-k selection the serving stack shares: a
+// k-sized min-heap over a single pass of n scored items — O(n log k) instead
+// of the O(n log n) full sort, which matters because serving-path queries
+// extract a handful of entries from rank vectors with millions of nodes.
+//
+// The global engines (internal/core, float32 ranks) and the personalized
+// engine (internal/ppr, float64 scores) both select through this package, so
+// the two hot paths cannot drift apart again.
+package topk
+
+import "sort"
+
+// Select returns the k entries that rank highest under worse, in descending
+// order (best first). entry materializes item i; worse reports whether a
+// ranks strictly below b in the final ordering — it must be a strict weak
+// ordering, with any determinism tie-break (e.g. by node ID) folded in.
+// k larger than n is clamped; k <= 0 returns an empty non-nil slice.
+func Select[E any](n, k int, entry func(i int) E, worse func(a, b E) bool) []E {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []E{}
+	}
+	// h is a min-heap under worse: the root is the current worst of the kept
+	// k, so each later item needs one comparison to be rejected.
+	h := make([]E, 0, k)
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if c+1 < len(h) && worse(h[c+1], h[c]) {
+				c++
+			}
+			if !worse(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i := 0; i < n; i++ {
+		e := entry(i)
+		if len(h) < k {
+			h = append(h, e)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !worse(h[c], h[p]) {
+					break
+				}
+				h[c], h[p] = h[p], h[c]
+				c = p
+			}
+			continue
+		}
+		if worse(e, h[0]) {
+			continue
+		}
+		h[0] = e
+		siftDown(0)
+	}
+	sort.Slice(h, func(i, j int) bool { return worse(h[j], h[i]) })
+	return h
+}

@@ -1,0 +1,71 @@
+package topk
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+type pair struct {
+	node  int
+	score float64
+}
+
+func worsePair(a, b pair) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.node > b.node
+}
+
+// selectRef is the obvious full-sort reference.
+func selectRef(scores []float64, k int) []pair {
+	all := make([]pair, len(scores))
+	for i, s := range scores {
+		all[i] = pair{node: i, score: s}
+	}
+	sort.Slice(all, func(i, j int) bool { return worsePair(all[j], all[i]) })
+	if k > len(all) {
+		k = len(all)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return all[:k]
+}
+
+func TestSelectMatchesFullSort(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := r.IntN(200)
+		scores := make([]float64, n)
+		for i := range scores {
+			// Coarse quantization forces score ties, exercising the node
+			// tie-break.
+			scores[i] = float64(r.IntN(16))
+		}
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 7, -2} {
+			got := Select(n, k, func(i int) pair { return pair{node: i, score: scores[i]} }, worsePair)
+			want := selectRef(scores, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: got %d entries, want %d", n, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d k=%d: entry %d = %+v, want %+v", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectEmptyAndZeroK(t *testing.T) {
+	got := Select(0, 5, func(i int) int { return i }, func(a, b int) bool { return a < b })
+	if got == nil || len(got) != 0 {
+		t.Fatalf("Select on empty input = %v, want empty non-nil", got)
+	}
+	got = Select(5, 0, func(i int) int { return i }, func(a, b int) bool { return a < b })
+	if got == nil || len(got) != 0 {
+		t.Fatalf("Select with k=0 = %v, want empty non-nil", got)
+	}
+}

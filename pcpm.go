@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/graph"
 	"repro/internal/ppr"
 )
@@ -189,7 +190,7 @@ type PPREngineOptions = ppr.EngineOptions
 type PPRRunOptions = ppr.RunOptions
 
 // PPREngine is reusable personalized PageRank scratch for one graph
-// (~33 bytes/node). One engine is NOT safe for concurrent Run calls; pool
+// (~25 bytes/node). One engine is NOT safe for concurrent Run calls; pool
 // several for concurrent serving, as internal/serve does.
 type PPREngine = ppr.Engine
 
@@ -223,6 +224,36 @@ func RunPersonalized(g *graph.Graph, seeds []uint32, o PPROptions) (*PPRResult, 
 // intra-query parallelism. Results align positionally with seedSets.
 func RunPersonalizedBatch(g *graph.Graph, seedSets [][]uint32, o PPROptions) ([]*PPRResult, error) {
 	return ppr.RunBatch(g, seedSets, o)
+}
+
+// Edge re-exports the graph substrate's directed edge, the element type of
+// edge-delta batches.
+type Edge = graph.Edge
+
+// EdgeDelta is one batch of edge insertions and deletions for a dynamic
+// graph; see internal/delta for the exact matching semantics (deletions
+// remove one parallel instance each, endpoints must already exist).
+type EdgeDelta = delta.EdgeDelta
+
+// DeltaOptions configure ApplyEdgeDelta: the damping the input ranks were
+// computed with, the repair's epsilon (its own L1 error bound), the
+// fallback threshold on dirtied residual mass, and engine shape knobs.
+type DeltaOptions = delta.Options
+
+// DeltaResult reports one applied edge delta: the rebuilt graph, the
+// repaired ranks (nil when the repair fell back and the caller must rerun
+// its engine), and drain statistics.
+type DeltaResult = delta.Result
+
+// ApplyEdgeDelta applies a batch of edge insertions/deletions to g and
+// repairs ranks incrementally: residuals are seeded at the vertices whose
+// out-neighborhoods changed (the sparse perturbation ((1−α)/α)(M′−M)p) and
+// drained with the partition-centric forward-push engine, so small deltas
+// cost far less than a from-scratch engine run. When the dirtied mass
+// exceeds DeltaOptions.FallbackL1 the result reports FellBack and carries
+// only the rebuilt graph — run the engine on it instead.
+func ApplyEdgeDelta(g *Graph, ranks []float32, d EdgeDelta, o DeltaOptions) (*DeltaResult, error) {
+	return delta.Apply(g, ranks, d, o)
 }
 
 // RankEntry re-exports core.RankEntry for TopK consumers.
