@@ -62,6 +62,7 @@ func main() {
 		batch   = flag.Int("batch", 4, "queries per ppr_batch operation")
 		epsilon = flag.Float64("epsilon", 0, "requested PPR epsilon (0 = server default)")
 		mixSpec = flag.String("mix", "", `operation mix, e.g. "topk=50,rank=15,ppr=25,batch=6,recompute=2,upload=2" (default: that profile); add mutate=N for edge-update traffic`)
+		compRec = flag.Bool("recompute-componentwise", false, "recompute ops request the componentwise (SCC-condensation) solver via overrides")
 		upload  = flag.String("upload-file", "", "graph file re-uploaded by upload ops (remote mode; -self uses the generated graph)")
 		out     = flag.String("o", "", "write the JSON report here (default stdout)")
 	)
@@ -82,6 +83,8 @@ func main() {
 		K:           *k,
 		BatchSize:   *batch,
 		Epsilon:     *epsilon,
+
+		RecomputeComponentwise: *compRec,
 	}
 	if *mixSpec != "" {
 		mix, err := loadgen.ParseMix(*mixSpec)

@@ -1,0 +1,258 @@
+package comp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/scc"
+)
+
+// monolithic runs the paper's PCPM engine to convergence — the reference
+// the componentwise goldens are held against.
+func monolithic(t testing.TB, g *graph.Graph, damping float64, policy core.DanglingPolicy, tol float64) []float32 {
+	t.Helper()
+	cfg := core.Config{Damping: damping, Dangling: policy}
+	e, err := core.NewPCPM(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.RunToConvergence(e, tol, 100000)
+	return e.Ranks()
+}
+
+// goldenFamilies is the family sweep shared with the ppr and delta goldens,
+// plus the component-rich DAG-of-communities family and a giant-SCC cycle.
+func goldenFamilies(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	families := make(map[string]*graph.Graph)
+	var err error
+	families["erdos-renyi"], err = gen.ErdosRenyi(2000, 16000, 11, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["rmat"], err = gen.RMAT(gen.Graph500RMAT(11, 8, 12), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["preferential"], err = gen.PreferentialAttachmentMix(2000, 8, 0.3, 13, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["copying"], err = gen.Copying(gen.CopyingConfig{
+		N: 2000, OutDegree: 8, CopyProb: 0.4, Locality: 0.5, PrefGlobal: 0.3, Seed: 14,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["dag-communities"], err = gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 16, ClusterSize: 120, IntraDegree: 4, BridgeDegree: 10, Seed: 15,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+func l1(a, b []float32) float64 {
+	var total float64
+	for i := range a {
+		total += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return total
+}
+
+// TestGoldenComponentwiseMatchesMonolithic pins the tentpole contract:
+// componentwise ranks match the monolithic PCPM engine within 1e-6 L1 on
+// every generator family, under both dangling policies, at matched
+// tolerance.
+func TestGoldenComponentwiseMatchesMonolithic(t *testing.T) {
+	const tol = 1e-9
+	for name, g := range goldenFamilies(t) {
+		for _, policy := range []core.DanglingPolicy{core.DanglingLeak, core.DanglingRedistribute} {
+			t.Run(name+"/"+policy.String(), func(t *testing.T) {
+				want := monolithic(t, g, 0.85, policy, tol)
+				res, err := Run(g, Options{Damping: 0.85, Tolerance: tol, Dangling: policy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := l1(res.Ranks, want); d > 1e-6 {
+					t.Fatalf("componentwise vs monolithic L1 = %g > 1e-6 (%d comps, %d levels, %d iters)",
+						d, res.Breakdown.Components, res.Breakdown.Levels, res.Iterations)
+				}
+				t.Logf("%s/%s: %d comps (largest %d), %d levels, iters %d, L1 %.3g, kernels cf=%d local=%d engine=%d",
+					name, policy, res.Breakdown.Components, res.Breakdown.LargestComponent,
+					res.Breakdown.Levels, res.Iterations, l1(res.Ranks, want),
+					res.Breakdown.ClosedForm, res.Breakdown.LocalSolves, res.Breakdown.EngineSolves)
+			})
+		}
+	}
+}
+
+// TestGoldenRestrictedEngineEverywhere forces the restricted PCPM engine
+// for every multi-vertex component (EngineMinNodes below 2), certifying the
+// engine kernel — not just the local Gauss-Seidel — against the monolithic
+// reference on every family.
+func TestGoldenRestrictedEngineEverywhere(t *testing.T) {
+	const tol = 1e-9
+	for name, g := range goldenFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			want := monolithic(t, g, 0.85, core.DanglingLeak, tol)
+			res, err := Run(g, Options{
+				Damping: 0.85, Tolerance: tol, EngineMinNodes: 1, PartitionBytes: 1 << 12,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Breakdown.EngineSolves == 0 && res.Breakdown.Components > res.Breakdown.ClosedForm {
+				t.Fatal("EngineMinNodes=1 ran no restricted engines")
+			}
+			if d := l1(res.Ranks, want); d > 1e-6 {
+				t.Fatalf("engine-kernel componentwise vs monolithic L1 = %g > 1e-6", d)
+			}
+		})
+	}
+}
+
+// TestComponentwiseDanglingChain exercises the closed-form kernel's
+// interplay with dangling leaks: a pure path graph decomposes into
+// singleton components only.
+func TestComponentwiseDanglingChain(t *testing.T) {
+	n := 50
+	var edges []graph.Edge
+	for v := 0; v < n-1; v++ {
+		edges = append(edges, graph.Edge{Src: graph.NodeID(v), Dst: graph.NodeID(v + 1)})
+	}
+	g, err := graph.FromEdges(n, edges, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []core.DanglingPolicy{core.DanglingLeak, core.DanglingRedistribute} {
+		want := monolithic(t, g, 0.85, policy, 1e-10)
+		res, err := Run(g, Options{Tolerance: 1e-10, Dangling: policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Breakdown.ClosedForm != n*map[bool]int{true: 2, false: 1}[policy == core.DanglingRedistribute] {
+			t.Fatalf("%v: closed-form count %d", policy, res.Breakdown.ClosedForm)
+		}
+		if res.Iterations != 0 {
+			t.Fatalf("%v: singleton chain needed %d iterations", policy, res.Iterations)
+		}
+		if d := l1(res.Ranks, want); d > 1e-6 {
+			t.Fatalf("%v: chain L1 = %g", policy, d)
+		}
+	}
+}
+
+// TestComponentwiseSelfLoops pins the closed form with self-loops, parallel
+// self-loops included.
+func TestComponentwiseSelfLoops(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 0}, {Src: 0, Dst: 0}, {Src: 0, Dst: 1},
+		{Src: 1, Dst: 1}, {Src: 1, Dst: 2},
+	}
+	g, err := graph.FromEdges(3, edges, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := monolithic(t, g, 0.85, core.DanglingLeak, 1e-12)
+	res, err := Run(g, Options{Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := l1(res.Ranks, want); d > 1e-6 {
+		t.Fatalf("self-loop L1 = %g (ranks %v want %v)", d, res.Ranks, want)
+	}
+}
+
+func TestComponentwiseEdgeCases(t *testing.T) {
+	empty, err := graph.FromEdges(0, nil, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(empty, Options{})
+	if err != nil || len(res.Ranks) != 0 {
+		t.Fatalf("empty graph: %v, %v", res, err)
+	}
+
+	if _, err := Run(empty, Options{Damping: 1.5}); err == nil {
+		t.Fatal("accepted damping 1.5")
+	}
+	if _, err := Run(empty, Options{Tolerance: -1}); err == nil {
+		t.Fatal("accepted negative tolerance")
+	}
+	if _, err := Run(empty, Options{Workers: -1}); err == nil {
+		t.Fatal("accepted negative workers")
+	}
+
+	one, err := graph.FromEdges(1, nil, false, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(one, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Ranks[0])-0.15) > 1e-7 {
+		t.Fatalf("isolated vertex rank %v, want 0.15", res.Ranks[0])
+	}
+}
+
+// TestComponentwiseReusesSuppliedSCC verifies the precomputed-decomposition
+// path and that a mismatched one is rejected.
+func TestComponentwiseReusesSuppliedSCC(t *testing.T) {
+	g, err := gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 6, ClusterSize: 60, IntraDegree: 3, BridgeDegree: 4, Seed: 9,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := scc.Decompose(g, 2)
+	a, err := Run(g, Options{SCC: dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := l1(a.Ranks, b.Ranks); d != 0 {
+		t.Fatalf("supplied-SCC solve diverges: L1 %g", d)
+	}
+	other, err := gen.ErdosRenyi(10, 20, 1, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(other, Options{SCC: dec}); err == nil {
+		t.Fatal("accepted mismatched SCC result")
+	}
+}
+
+// TestComponentwiseDeterministicAcrossWorkers pins schedule-independence of
+// the full solve.
+func TestComponentwiseDeterministicAcrossWorkers(t *testing.T) {
+	g, err := gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 10, ClusterSize: 80, IntraDegree: 3, BridgeDegree: 6, Seed: 31,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		r, err := Run(g, Options{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range r.Ranks {
+			if r.Ranks[v] != base.Ranks[v] {
+				t.Fatalf("workers=%d: rank[%d] %v vs %v", w, v, r.Ranks[v], base.Ranks[v])
+			}
+		}
+	}
+}

@@ -207,13 +207,30 @@ func RunToConvergence(e Engine, tol float64, maxIters int) (int, float64) {
 // rankState is the shared vertex-value state every engine maintains: the
 // unscaled ranks, the scaled ranks (SPR(v) = PR(v)/|No(v)|, eq. 2), and the
 // dangling correction for the upcoming iteration.
+//
+// base and degs support restricted subproblem solves (the componentwise
+// solver's frozen-inflow formulation, see NewPCPMRestricted): when set, the
+// per-vertex base replaces the uniform (1-d)/|V| teleport term and degs
+// replaces the subgraph out-degree as the SPR divisor. Both nil for the
+// whole-graph engines.
 type rankState struct {
 	g        *graph.Graph
 	damping  float64
 	policy   DanglingPolicy
 	pr       []float32
 	spr      []float32
-	dangling float64 // Σ PR over dangling nodes, for the next iteration
+	dangling float64   // Σ PR over dangling nodes, for the next iteration
+	base     []float32 // optional per-vertex teleport-inflow term
+	degs     []int64   // optional per-vertex out-degree override
+}
+
+// outDeg returns the SPR divisor for v: the override when the state is
+// restricted, the graph's out-degree otherwise.
+func (s *rankState) outDeg(v int) int64 {
+	if s.degs != nil {
+		return s.degs[v]
+	}
+	return s.g.OutDegree(graph.NodeID(v))
 }
 
 func newRankState(g *graph.Graph, damping float64, policy DanglingPolicy) *rankState {
@@ -233,11 +250,17 @@ func (s *rankState) reset() {
 	if n == 0 {
 		return
 	}
-	init := float32(1.0 / float64(n))
+	uniform := float32(1.0 / float64(n))
 	var dangling float64
 	for v := 0; v < n; v++ {
+		init := uniform
+		if s.base != nil {
+			// Restricted solves start at the teleport-inflow term — the
+			// exact fixed point for vertices with no in-component edges.
+			init = s.base[v]
+		}
 		s.pr[v] = init
-		if d := s.g.OutDegree(graph.NodeID(v)); d > 0 {
+		if d := s.outDeg(v); d > 0 {
 			s.spr[v] = init / float32(d)
 		} else {
 			s.spr[v] = 0
@@ -262,15 +285,19 @@ func (s *rankState) danglingTerm() float32 {
 func (s *rankState) applyRange(lo, hi int, sums []float32, base, dterm float32) (delta, dangling float64) {
 	d := float32(s.damping)
 	for v := lo; v < hi; v++ {
+		b := base
+		if s.base != nil {
+			b = s.base[v]
+		}
 		old := s.pr[v]
-		nv := base + d*(sums[v-lo]+dterm)
+		nv := b + d*(sums[v-lo]+dterm)
 		s.pr[v] = nv
 		diff := float64(nv - old)
 		if diff < 0 {
 			diff = -diff
 		}
 		delta += diff
-		if deg := s.g.OutDegree(graph.NodeID(v)); deg > 0 {
+		if deg := s.outDeg(v); deg > 0 {
 			s.spr[v] = nv / float32(deg)
 		} else {
 			dangling += float64(nv)

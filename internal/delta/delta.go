@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ppr"
+	"repro/internal/scc"
 )
 
 // DefaultFallbackL1 is the seeded-residual L1 mass above which Apply
@@ -107,6 +108,17 @@ type Options struct {
 	// the dangling-redistribution correction. That formulation's transition
 	// matrix has dense dangling columns, so Apply always falls back.
 	RedistributeDangling bool
+	// Components optionally supplies the PRE-delta graph's SCC
+	// decomposition (internal/scc). The repair then bounds its reach: the
+	// dirtied residual can only flow through components downstream of the
+	// seeded ones in the condensation — computed over the old DAG plus the
+	// inserted edges' component arcs, a sound over-approximation since
+	// deletions only shrink reachability — and when that closure covers a
+	// small fraction of the graph the drain pins itself to sparse rounds,
+	// so a localized delta never pays a dense sweep over the untouched
+	// components. Result.AffectedComponents / AffectedVertices report the
+	// closure. A decomposition that does not match g is ignored.
+	Components *scc.Result
 }
 
 // Result reports one applied delta. Graph is always the rebuilt graph;
@@ -130,6 +142,11 @@ type Result struct {
 	ResidualL1 float64
 	Rounds     int
 	Pushes     int64
+	// AffectedComponents and AffectedVertices report the downstream closure
+	// of the seeded components when Options.Components was supplied (zero
+	// otherwise): the structural upper bound on the repair's reach.
+	AffectedComponents int
+	AffectedVertices   int
 	// RebuildTime and RepairTime split the wall clock between the CSR/CSC
 	// rebuild and the residual drain.
 	RebuildTime time.Duration
@@ -157,6 +174,54 @@ func Rebuild(g *graph.Graph, d EdgeDelta) (*graph.Graph, map[graph.NodeID]struct
 		changed[e.Src] = struct{}{}
 	}
 	return ng, changed, nil
+}
+
+// denseSkipFraction is the affected-vertex share of |V| below which a
+// component-scoped repair pins itself to sparse rounds: a dense round costs
+// a full-graph sweep, so it only pays when the delta's downstream closure
+// covers a substantial part of the graph.
+const denseSkipFraction = 0.25
+
+// componentScope computes the downstream closure of the seeded components
+// over the pre-delta condensation DAG plus the inserted edges' component
+// arcs (deletions only remove paths, so the old DAG over-approximates
+// them). Returns the closure's component and vertex counts.
+func componentScope(dec *scc.Result, seeds []ppr.ResidualSeed, inserted []graph.Edge) (int, int) {
+	affected := make([]bool, dec.NumComps)
+	var queue []int32
+	push := func(c int32) {
+		if !affected[c] {
+			affected[c] = true
+			queue = append(queue, c)
+		}
+	}
+	for _, s := range seeds {
+		push(dec.Comp[s.Node])
+	}
+	// Inserted edges add condensation arcs the old DAG does not know; a
+	// cycle-creating insertion becomes a pair of arcs, which the closure
+	// handles like any other reachability.
+	extra := make(map[int32][]int32, len(inserted))
+	for _, e := range inserted {
+		cu, cv := dec.Comp[e.Src], dec.Comp[e.Dst]
+		if cu != cv {
+			extra[cu] = append(extra[cu], cv)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		c := queue[head]
+		for _, s := range dec.Succ(c) {
+			push(s)
+		}
+		for _, s := range extra[c] {
+			push(s)
+		}
+	}
+	comps, verts := len(queue), 0
+	for _, c := range queue {
+		verts += dec.Size(c)
+	}
+	return comps, verts
 }
 
 // Apply rebuilds g with d and repairs ranks incrementally. ranks must be
@@ -239,6 +304,20 @@ func Apply(g *graph.Graph, ranks []float32, d EdgeDelta, o Options) (*Result, er
 		return res, nil
 	}
 
+	// With a component map, bound the repair's structural reach: residual
+	// flows only downstream of the seeded components, so when that closure
+	// is small the dense fallback — a full-graph sweep that would touch
+	// every untouched component — cannot pay off, and the drain stays on
+	// sparse partition-centric rounds.
+	var denseFraction float64
+	if o.Components != nil && len(o.Components.Comp) == g.NumNodes() {
+		res.AffectedComponents, res.AffectedVertices =
+			componentScope(o.Components, seeds, d.Insert)
+		if float64(res.AffectedVertices) < denseSkipFraction*float64(g.NumNodes()) {
+			denseFraction = 1 // force sparse rounds
+		}
+	}
+
 	workers := o.Workers
 	if workers == 0 {
 		workers = 1 // single worker selects the Gauss–Seidel dense sweep
@@ -256,8 +335,9 @@ func Apply(g *graph.Graph, ranks []float32, d EdgeDelta, o Options) (*Result, er
 		Epsilon: epsilon,
 		// Explicit, not inherited: a reused Engine may have been built
 		// wider, and the default contract is a single-worker repair.
-		Workers:   workers,
-		MaxRounds: o.MaxRounds,
+		Workers:       workers,
+		MaxRounds:     o.MaxRounds,
+		DenseFraction: denseFraction,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("delta: repair: %w", err)

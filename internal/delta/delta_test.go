@@ -8,6 +8,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ppr"
+	"repro/internal/scc"
 )
 
 // globalPR is the float64 reference: the paper's eq. 1 fixed point (dangling
@@ -124,6 +125,12 @@ func goldenFamilies(t *testing.T) map[string]*graph.Graph {
 	if err != nil {
 		t.Fatal(err)
 	}
+	families["dag-communities"], err = gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 16, ClusterSize: 120, IntraDegree: 4, BridgeDegree: 10, Seed: 15,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return families
 }
 
@@ -165,6 +172,99 @@ func TestGoldenIncrementalRepair(t *testing.T) {
 				name, len(d.Insert), len(d.Delete), res.SeedL1, res.Rounds, res.Pushes,
 				l1Diff(res.Ranks, ref))
 		})
+	}
+}
+
+// TestGoldenComponentScopedRepair pins the component-map variant of the
+// tentpole contract: with Options.Components supplied, the repair reports
+// the downstream closure of the dirtied components, stays sparse when that
+// closure is small, and still lands within 1e-6 L1 of a converged
+// from-scratch run — on every generator family.
+func TestGoldenComponentScopedRepair(t *testing.T) {
+	const damping = 0.85
+	for name, g := range goldenFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			dec := scc.Decompose(g, 2)
+			k := int(g.NumEdges() / 2000)
+			if k < 1 {
+				k = 1
+			}
+			base := globalPR(g, damping, 1e-12, 5000)
+			d := randomDelta(g, k, 99)
+			res, err := Apply(g, toFloat32(base), d, Options{
+				Damping: damping, Epsilon: 1e-9, Components: dec,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FellBack {
+				t.Fatalf("repair fell back: %s", res.Reason)
+			}
+			if res.AffectedComponents == 0 || res.AffectedVertices == 0 {
+				t.Fatal("component map supplied but no closure reported")
+			}
+			if res.AffectedVertices > g.NumNodes() {
+				t.Fatalf("closure %d exceeds graph size %d", res.AffectedVertices, g.NumNodes())
+			}
+			ref := globalPR(res.Graph, damping, 1e-12, 5000)
+			if diff := l1Diff(res.Ranks, ref); diff > 1e-6 {
+				t.Fatalf("component-scoped repair diverges: L1 %g > 1e-6", diff)
+			}
+			t.Logf("%s: closure %d/%d comps, %d/%d vertices, %d rounds",
+				name, res.AffectedComponents, dec.NumComps,
+				res.AffectedVertices, g.NumNodes(), res.Rounds)
+		})
+	}
+}
+
+// TestComponentScopeStaysLocal checks the structural bound itself: a delta
+// confined to the last community of a DAG-of-communities graph can only
+// affect that community, and a mismatched decomposition is ignored rather
+// than trusted.
+func TestComponentScopeStaysLocal(t *testing.T) {
+	const damping = 0.85
+	cfg := gen.DAGCommunitiesConfig{
+		Clusters: 10, ClusterSize: 100, IntraDegree: 4, BridgeDegree: 6, Seed: 77,
+	}
+	g, err := gen.DAGCommunities(cfg, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := scc.Decompose(g, 1)
+	base := toFloat32(globalPR(g, damping, 1e-12, 5000))
+	// An insertion inside the last community: its component is a sink of
+	// the condensation, so the closure is exactly one component.
+	last := graph.NodeID(g.NumNodes() - cfg.ClusterSize)
+	d := EdgeDelta{Insert: []graph.Edge{{Src: last, Dst: last + 1, W: 1}}}
+	res, err := Apply(g, base, d, Options{Damping: damping, Epsilon: 1e-9, Components: dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FellBack {
+		t.Fatalf("fell back: %s", res.Reason)
+	}
+	if res.AffectedComponents != 1 || res.AffectedVertices != cfg.ClusterSize {
+		t.Fatalf("sink-community delta closure = %d comps / %d vertices, want 1/%d",
+			res.AffectedComponents, res.AffectedVertices, cfg.ClusterSize)
+	}
+	ref := globalPR(res.Graph, damping, 1e-12, 5000)
+	if diff := l1Diff(res.Ranks, ref); diff > 1e-6 {
+		t.Fatalf("sink-community repair L1 %g > 1e-6", diff)
+	}
+
+	// A decomposition of some other graph must be ignored, not trusted.
+	other, err := gen.ErdosRenyi(50, 200, 5, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Apply(g, base, d, Options{
+		Damping: damping, Epsilon: 1e-9, Components: scc.Decompose(other, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.AffectedComponents != 0 {
+		t.Fatal("mismatched decomposition was not ignored")
 	}
 }
 

@@ -269,6 +269,73 @@ func Copying(cfg CopyingConfig, opts graph.BuildOptions) (*graph.Graph, error) {
 	return graph.FromEdges(cfg.N, edges, false, opts)
 }
 
+// DAGCommunitiesConfig parameterizes the DAG-of-communities generator.
+type DAGCommunitiesConfig struct {
+	// Clusters is the number of strongly connected communities K.
+	Clusters int
+	// ClusterSize is the vertex count of each community.
+	ClusterSize int
+	// IntraDegree is the number of random intra-community edges added per
+	// vertex on top of the Hamiltonian ring that makes the community
+	// strongly connected.
+	IntraDegree int
+	// BridgeDegree is the number of forward-only bridge edges emitted per
+	// community: each goes from a random member of community i to a random
+	// member of a strictly later community j > i, so the condensation is a
+	// DAG over exactly K nontrivial components.
+	BridgeDegree int
+	Seed         uint64
+}
+
+// DAGCommunities generates K strongly connected clusters wired by
+// forward-only bridge edges — the component-rich family the SCC and
+// componentwise-solver tests and benchmarks sweep. Every community is one
+// nontrivial SCC (a directed ring plus IntraDegree random chords per
+// vertex), bridges only point from lower- to higher-indexed communities,
+// and the last community receives no outgoing bridges, so the condensation
+// has K components stacked into a deep DAG — the structure Engström &
+// Silvestrov's componentwise PageRank exploits.
+func DAGCommunities(cfg DAGCommunitiesConfig, opts graph.BuildOptions) (*graph.Graph, error) {
+	if cfg.Clusters <= 0 || cfg.ClusterSize <= 0 {
+		return nil, fmt.Errorf("gen: DAGCommunities(clusters=%d, size=%d) invalid", cfg.Clusters, cfg.ClusterSize)
+	}
+	if cfg.IntraDegree < 0 || cfg.BridgeDegree < 0 {
+		return nil, fmt.Errorf("gen: DAGCommunities degrees (%d, %d) negative", cfg.IntraDegree, cfg.BridgeDegree)
+	}
+	if cfg.BridgeDegree > 0 && cfg.Clusters < 2 {
+		return nil, fmt.Errorf("gen: DAGCommunities bridges need at least 2 clusters")
+	}
+	n := cfg.Clusters * cfg.ClusterSize
+	r := rng(cfg.Seed)
+	member := func(c, i int) graph.NodeID { return graph.NodeID(c*cfg.ClusterSize + i) }
+	edges := make([]graph.Edge, 0,
+		int64(n)*int64(1+cfg.IntraDegree)+int64(cfg.Clusters)*int64(cfg.BridgeDegree))
+	for c := 0; c < cfg.Clusters; c++ {
+		for i := 0; i < cfg.ClusterSize; i++ {
+			// The ring guarantees strong connectivity of the community.
+			edges = append(edges, graph.Edge{
+				Src: member(c, i), Dst: member(c, (i+1)%cfg.ClusterSize), W: 1,
+			})
+			for e := 0; e < cfg.IntraDegree; e++ {
+				edges = append(edges, graph.Edge{
+					Src: member(c, i), Dst: member(c, r.IntN(cfg.ClusterSize)), W: 1,
+				})
+			}
+		}
+		if c+1 < cfg.Clusters {
+			for e := 0; e < cfg.BridgeDegree; e++ {
+				dstC := c + 1 + r.IntN(cfg.Clusters-c-1)
+				edges = append(edges, graph.Edge{
+					Src: member(c, r.IntN(cfg.ClusterSize)),
+					Dst: member(dstC, r.IntN(cfg.ClusterSize)),
+					W:   1,
+				})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges, false, opts)
+}
+
 // RandomPermutation returns a uniformly random bijection perm[old] = new.
 func RandomPermutation(n int, seed uint64) []graph.NodeID {
 	r := rng(seed)

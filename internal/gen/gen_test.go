@@ -246,6 +246,60 @@ func TestPrefGlobalValidationAndSkew(t *testing.T) {
 	}
 }
 
+func TestDAGCommunitiesShape(t *testing.T) {
+	cfg := DAGCommunitiesConfig{Clusters: 8, ClusterSize: 50, IntraDegree: 3, BridgeDegree: 6, Seed: 5}
+	g, err := DAGCommunities(cfg, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 400 {
+		t.Fatalf("nodes = %d, want 400", g.NumNodes())
+	}
+	wantEdges := int64(400*(1+3) + 7*6)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Bridges must be forward-only across clusters: every inter-cluster
+	// edge goes from a lower cluster index to a strictly higher one.
+	for _, e := range g.Edges() {
+		cs, cd := int(e.Src)/cfg.ClusterSize, int(e.Dst)/cfg.ClusterSize
+		if cs != cd && cd < cs {
+			t.Fatalf("backward bridge %d->%d (clusters %d->%d)", e.Src, e.Dst, cs, cd)
+		}
+	}
+	// Deterministic for a fixed seed.
+	h, err := DAGCommunities(cfg, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("DAGCommunities not deterministic")
+	}
+}
+
+func TestDAGCommunitiesValidation(t *testing.T) {
+	bad := []DAGCommunitiesConfig{
+		{Clusters: 0, ClusterSize: 10},
+		{Clusters: 4, ClusterSize: 0},
+		{Clusters: 4, ClusterSize: 10, IntraDegree: -1},
+		{Clusters: 4, ClusterSize: 10, BridgeDegree: -1},
+		{Clusters: 1, ClusterSize: 10, BridgeDegree: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := DAGCommunities(cfg, graph.BuildOptions{}); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, cfg)
+		}
+	}
+	// A single bridgeless cluster is legal: one SCC, no condensation edges.
+	g, err := DAGCommunities(DAGCommunitiesConfig{Clusters: 1, ClusterSize: 5}, graph.BuildOptions{})
+	if err != nil || g.NumNodes() != 5 {
+		t.Fatalf("single cluster: %v, %v", g, err)
+	}
+}
+
 func TestPreferentialAttachmentMixValidation(t *testing.T) {
 	if _, err := PreferentialAttachmentMix(10, 2, -0.1, 1, graph.BuildOptions{}); err == nil {
 		t.Error("accepted negative uniform fraction")

@@ -282,6 +282,11 @@ func (g *Graph) Reverse() *Graph {
 }
 
 // Stats summarizes a graph for dataset tables (paper Table 4).
+//
+// Components and LargestComponent describe the strongly-connected-component
+// structure. ComputeStats leaves them zero — the decomposition lives in
+// internal/scc, which graph cannot import — and scc.ComputeStats fills
+// them; the serving layer and CLIs use that entry point.
 type Stats struct {
 	Nodes        int
 	Edges        int64
@@ -289,6 +294,11 @@ type Stats struct {
 	MaxOutDegree int64
 	MaxInDegree  int64
 	Dangling     int
+	// Components is the number of strongly connected components; zero means
+	// "not computed" (an empty graph also reports zero).
+	Components int
+	// LargestComponent is the vertex count of the largest SCC.
+	LargestComponent int
 }
 
 // ComputeStats gathers summary statistics in one pass.

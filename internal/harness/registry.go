@@ -31,6 +31,7 @@ func Registry() []Experiment {
 		{"fig13", "execution time vs partition size (paper Fig. 13)", Fig13},
 		{"fig14", "phase times vs partition size, sd1 (paper Fig. 14)", Fig14},
 		{"ablations", "PCPM design-choice ablations (DESIGN.md §5)", Ablations},
+		{"componentwise", "SCC-condensation solver vs monolithic PCPM (Engström-Silvestrov)", Componentwise},
 		{"compact", "16-bit compact destination IDs (paper §6 extension)", Compact},
 		{"edgebalance", "uniform vs edge-balanced partitions (paper §6 extension)", EdgeBalance},
 	}

@@ -37,6 +37,13 @@ func testGraphs(t testing.TB) map[string]*graph.Graph {
 		t.Fatal(err)
 	}
 	graphs["copying"] = cp
+	dc, err := gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 8, ClusterSize: 60, IntraDegree: 3, BridgeDegree: 5, Seed: 19,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["dag-communities"] = dc
 	return graphs
 }
 

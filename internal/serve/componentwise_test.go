@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	pcpm "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// dagGraph is a component-rich graph for the componentwise serving tests.
+func dagGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 6, ClusterSize: 50, IntraDegree: 3, BridgeDegree: 4, Seed: 3,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOverridesComponentwiseKnob(t *testing.T) {
+	yes, no := true, false
+	mComp, mPCPM := pcpm.MethodComponentwise, pcpm.MethodPCPM
+
+	// Validation: the knob may only contradict an absent or agreeing Method.
+	cases := []struct {
+		ov Overrides
+		ok bool
+	}{
+		{Overrides{Componentwise: &yes}, true},
+		{Overrides{Componentwise: &no}, true},
+		{Overrides{Componentwise: &yes, Method: &mComp}, true},
+		{Overrides{Componentwise: &no, Method: &mPCPM}, true},
+		{Overrides{Componentwise: &yes, Method: &mPCPM}, false},
+		{Overrides{Componentwise: &no, Method: &mComp}, false},
+	}
+	for i, c := range cases {
+		if err := c.ov.Validate(); (err == nil) != c.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+
+	// Apply semantics: true selects the solver, false steers a componentwise
+	// graph back to PCPM, nil inherits.
+	base := pcpm.Options{Method: pcpm.MethodBVGAS}
+	if got := (Overrides{Componentwise: &yes}).apply(base); got.Method != pcpm.MethodComponentwise {
+		t.Fatalf("componentwise=true: method %q", got.Method)
+	}
+	base.Method = pcpm.MethodComponentwise
+	if got := (Overrides{Componentwise: &no}).apply(base); got.Method != pcpm.MethodPCPM {
+		t.Fatalf("componentwise=false: method %q", got.Method)
+	}
+	base.Method = pcpm.MethodBVGAS
+	if got := (Overrides{Componentwise: &no}).apply(base); got.Method != pcpm.MethodBVGAS {
+		t.Fatalf("componentwise=false must not disturb a non-componentwise method, got %q", got.Method)
+	}
+	if got := (Overrides{}).apply(base); got.Method != pcpm.MethodBVGAS {
+		t.Fatalf("nil knob must inherit, got %q", got.Method)
+	}
+}
+
+// TestComponentwiseIngestAndRecomputeHTTP drives the knob end to end over
+// HTTP: ingest with ?componentwise=true, component stats in the info
+// payload, then a recompute body with componentwise:false steering back to
+// the PCPM engine.
+func TestComponentwiseIngestAndRecomputeHTTP(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := dagGraph(t)
+	var buf bytes.Buffer
+	if err := pcpm.SaveEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(
+		ts.URL+"/v1/graphs?name=dag&componentwise=true", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info GraphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest status %d (%+v)", resp.StatusCode, info)
+	}
+	if info.Method != pcpm.MethodComponentwise {
+		t.Fatalf("ingest method = %q, want componentwise", info.Method)
+	}
+	if info.Components != 6 || info.LargestComp != 50 {
+		t.Fatalf("component stats = %d/%d, want 6/50", info.Components, info.LargestComp)
+	}
+
+	// Conflicting knob and method must 400 before any body is read.
+	resp, err = ts.Client().Post(
+		ts.URL+"/v1/graphs?name=other&componentwise=false&method=componentwise",
+		"text/plain", strings.NewReader("0 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("conflicting knob: status %d, want 400", resp.StatusCode)
+	}
+
+	// Recompute with componentwise:false steers back to the PCPM engine.
+	resp, err = ts.Client().Post(ts.URL+"/v1/graphs/dag/recompute", "application/json",
+		strings.NewReader(`{"componentwise":false,"wait":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recompute status %d", resp.StatusCode)
+	}
+	snap := s.graphs["dag"].snap.Load()
+	if snap.Options.Method != pcpm.MethodPCPM {
+		t.Fatalf("post-recompute method = %q, want pcpm", snap.Options.Method)
+	}
+	if snap.Version != 2 {
+		t.Fatalf("version = %d, want 2", snap.Version)
+	}
+}
+
+// TestComponentwiseRecomputeRacesReads is the CI race-line scenario: a real
+// componentwise recompute (SCC decomposition + DAG-scheduled solves with
+// their shared scratch) runs while readers hammer top-k and personalized
+// queries. Every read must see a complete snapshot; run with -race (CI
+// does) to certify the solver's internal parallelism against the serving
+// path.
+func TestComponentwiseRecomputeRacesReads(t *testing.T) {
+	s := New(Config{Defaults: testOptions})
+	g := dagGraph(t)
+	if _, err := s.AddGraph("dag", g, pcpm.Options{}, false); err != nil {
+		t.Fatal(err)
+	}
+	n := uint32(g.NumNodes())
+
+	var (
+		wg        sync.WaitGroup
+		failMu    sync.Mutex
+		firstFail string
+	)
+	fail := func(msg string) {
+		failMu.Lock()
+		if firstFail == "" {
+			firstFail = msg
+		}
+		failMu.Unlock()
+	}
+
+	yes := true
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if _, err := s.Recompute("dag", Overrides{Componentwise: &yes}, true); err != nil {
+				fail("recompute: " + err.Error())
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				entries, snap, err := s.TopK("dag", 10)
+				if err != nil {
+					fail("topk: " + err.Error())
+					return
+				}
+				if len(snap.Ranks) != snap.Graph.NumNodes() {
+					fail("snapshot blends graph and ranks")
+					return
+				}
+				for _, e := range entries {
+					if e.Node >= n {
+						fail("topk entry out of range")
+						return
+					}
+				}
+				if i%10 == 0 {
+					if _, err := s.Personalized("dag", [][]uint32{{uint32(r*31+i) % n}}, 5, 1e-4); err != nil {
+						fail("ppr: " + err.Error())
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if firstFail != "" {
+		t.Fatal(firstFail)
+	}
+	snap := s.graphs["dag"].snap.Load()
+	if snap.Options.Method != pcpm.MethodComponentwise {
+		t.Fatalf("final method = %q, want componentwise", snap.Options.Method)
+	}
+	if snap.SCC == nil || snap.Stats.Components != 6 {
+		t.Fatalf("snapshot missing SCC decomposition (components=%d)", snap.Stats.Components)
+	}
+}

@@ -173,6 +173,9 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 		MaxRounds:            maxDeltaRounds,
 		RedistributeDangling: opts.RedistributeDangling,
 		Engine:               s.repairEngine(e, snap),
+		// The pre-delta decomposition scopes the repair to the dirtied
+		// components' downstream closure.
+		Components: snap.SCC,
 	})
 	if err != nil {
 		// Everything Apply rejects (out-of-range endpoints, deleting an
@@ -197,10 +200,11 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 	}
 
 	var ns *Snapshot
+	stats, dec := graphStats(res.Graph)
 	if fellBack {
 		st.Mode = "recompute"
 		st.Reason = reason
-		ns, err = s.compute(e, res.Graph, res.Graph.ComputeStats(), opts)
+		ns, err = s.compute(e, res.Graph, stats, dec, opts)
 		if err != nil {
 			return DeltaStatus{}, err
 		}
@@ -210,7 +214,8 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 		st.Rounds = res.Rounds
 		ns = &Snapshot{
 			Graph:   res.Graph,
-			Stats:   res.Graph.ComputeStats(),
+			Stats:   stats,
+			SCC:     dec,
 			Ranks:   res.Ranks,
 			Options: opts,
 			Method:  snap.Method,

@@ -12,6 +12,7 @@ import (
 	pcpm "repro"
 	"repro/internal/delta"
 	"repro/internal/graph"
+	"repro/internal/scc"
 )
 
 // edgesBody builds the JSON body of POST .../edges.
@@ -374,7 +375,7 @@ func TestDeltaSerializesWithRecompute(t *testing.T) {
 	}
 
 	release := make(chan struct{})
-	s.computeFn = func(g *graph.Graph, o pcpm.Options) (*pcpm.Result, error) {
+	s.computeFn = func(g *graph.Graph, o pcpm.Options, _ *scc.Result) (*pcpm.Result, error) {
 		res, err := pcpm.Run(g, o)
 		<-release
 		return res, err
@@ -422,7 +423,7 @@ func TestRecomputeCoalescesOntoDelta(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	s.computeFn = func(g *graph.Graph, o pcpm.Options) (*pcpm.Result, error) {
+	s.computeFn = func(g *graph.Graph, o pcpm.Options, _ *scc.Result) (*pcpm.Result, error) {
 		once.Do(func() { close(entered) })
 		res, err := pcpm.Run(g, o)
 		<-release

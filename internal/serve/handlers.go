@@ -270,7 +270,10 @@ type recomputeRequest struct {
 	Redistribute *bool    `json:"redistribute,omitempty"`
 	Compact      *bool    `json:"compact,omitempty"`
 	Branching    *bool    `json:"branching,omitempty"`
-	Wait         bool     `json:"wait,omitempty"`
+	// Componentwise selects (true) or deselects (false) the SCC-condensation
+	// solver without spelling out a method; absent inherits the snapshot's.
+	Componentwise *bool `json:"componentwise,omitempty"`
+	Wait          bool  `json:"wait,omitempty"`
 }
 
 func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +299,7 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 		RedistributeDangling: req.Redistribute,
 		CompactIDs:           req.Compact,
 		BranchingGather:      req.Branching,
+		Componentwise:        req.Componentwise,
 	}
 	if req.Method != nil {
 		m := pcpm.Method(*req.Method)
@@ -378,6 +382,7 @@ func overridesFromQuery(q url.Values) (Overrides, error) {
 	ov.RedistributeDangling = parseB("redistribute")
 	ov.CompactIDs = parseB("compact")
 	ov.BranchingGather = parseB("branching")
+	ov.Componentwise = parseB("componentwise")
 	return ov, err
 }
 

@@ -25,6 +25,7 @@ import (
 
 	pcpm "repro"
 	"repro/internal/graph"
+	"repro/internal/scc"
 )
 
 // Errors returned by registry operations; the HTTP layer maps them to
@@ -56,6 +57,10 @@ type Snapshot struct {
 	Graph *graph.Graph
 	// Stats summarizes Graph (precomputed once per publication).
 	Stats graph.Stats
+	// SCC is the decomposition backing Stats' component fields; the
+	// edge-delta path hands it to delta.Apply so incremental repairs can
+	// skip components with no dirtied residual mass.
+	SCC *scc.Result
 	// Ranks is the full (unscaled) rank vector, indexed by node ID.
 	Ranks []float32
 	// Options that produced this snapshot.
@@ -178,8 +183,11 @@ type Server struct {
 	pending map[string]chan struct{}
 
 	// computeFn runs one PageRank computation; tests substitute it to make
-	// in-flight recomputes observable and deterministic.
-	computeFn func(*graph.Graph, pcpm.Options) (*pcpm.Result, error)
+	// in-flight recomputes observable and deterministic. The decomposition
+	// argument is the snapshot's SCC (always describing exactly the graph
+	// argument), which the componentwise method reuses instead of
+	// decomposing again.
+	computeFn func(*graph.Graph, pcpm.Options, *scc.Result) (*pcpm.Result, error)
 	// pprRunFn computes the personalized answers for a set of cache-missed
 	// queries against one entry's graph (borrowing pooled engines); tests
 	// substitute it to observe coalescing.
@@ -201,7 +209,7 @@ func New(cfg Config) *Server {
 		started:   time.Now(),
 		graphs:    make(map[string]*entry),
 		pending:   make(map[string]chan struct{}),
-		computeFn: pcpm.Run,
+		computeFn: pcpm.RunWithSCC,
 	}
 	s.pprRunFn = s.runPersonalizedMisses
 	return s
@@ -214,6 +222,8 @@ type GraphInfo struct {
 	Edges       int64       `json:"edges"`
 	AvgDegree   float64     `json:"avg_degree"`
 	Dangling    int         `json:"dangling"`
+	Components  int         `json:"components"`
+	LargestComp int         `json:"largest_component"`
 	Method      pcpm.Method `json:"method"`
 	Iterations  int         `json:"iterations"`
 	Delta       float64     `json:"delta"`
@@ -236,6 +246,8 @@ func (e *entry) info() GraphInfo {
 		Edges:       snap.Stats.Edges,
 		AvgDegree:   snap.Stats.AvgDegree,
 		Dangling:    snap.Stats.Dangling,
+		Components:  snap.Stats.Components,
+		LargestComp: snap.Stats.LargestComponent,
 		Method:      snap.Method,
 		Iterations:  snap.Iterations,
 		Delta:       snap.Delta,
@@ -321,7 +333,8 @@ func (s *Server) addGraph(name string, g *graph.Graph, opts pcpm.Options, replac
 		ppr:     newPPRCache(s.cfg.PPRCacheSize),
 		pprWait: make(map[string]*pprInflight),
 	}
-	snap, err := s.compute(e, g, g.ComputeStats(), opts)
+	stats, dec := graphStats(g)
+	snap, err := s.compute(e, g, stats, dec, opts)
 	if err != nil {
 		return GraphInfo{}, err
 	}
@@ -436,6 +449,12 @@ type Overrides struct {
 	RedistributeDangling *bool
 	CompactIDs           *bool
 	BranchingGather      *bool
+	// Componentwise is sugar over Method: true selects the componentwise
+	// solver, false steers a graph currently on it back to the PCPM engine.
+	// Tri-state like every other knob — nil inherits whatever method the
+	// snapshot (or the server default) already uses. Setting it alongside a
+	// contradicting explicit Method is rejected by Validate.
+	Componentwise *bool
 }
 
 // Validate rejects override values the engines would refuse, wrapping
@@ -467,12 +486,27 @@ func (o Overrides) Validate() error {
 	if o.Workers != nil && *o.Workers < 0 {
 		return fmt.Errorf("%w: negative workers %d", ErrInvalidOptions, *o.Workers)
 	}
+	if o.Componentwise != nil && o.Method != nil {
+		if *o.Componentwise != (*o.Method == pcpm.MethodComponentwise) {
+			return fmt.Errorf("%w: componentwise=%v contradicts method %q",
+				ErrInvalidOptions, *o.Componentwise, *o.Method)
+		}
+	}
 	return nil
 }
 
 func (o Overrides) apply(base pcpm.Options) pcpm.Options {
 	if o.Method != nil {
 		base.Method = *o.Method
+	}
+	if o.Componentwise != nil {
+		if *o.Componentwise {
+			base.Method = pcpm.MethodComponentwise
+		} else if base.Method == pcpm.MethodComponentwise {
+			// Explicitly off: fall back to the paper's engine rather than
+			// whatever default the graph was ingested before the solver.
+			base.Method = pcpm.MethodPCPM
+		}
 	}
 	if o.Damping != nil {
 		base.Damping = *o.Damping
@@ -545,7 +579,7 @@ func (s *Server) Recompute(name string, ov Overrides, wait bool) (RecomputeStatu
 // the graph here cannot race a delta mutation.
 func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 	old := e.snap.Load()
-	snap, err := s.compute(e, old.Graph, old.Stats, opts)
+	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts)
 	if err == nil {
 		e.snap.Store(snap)
 		s.log.Info("recompute done", "graph", e.name, "version", snap.Version,
@@ -570,17 +604,18 @@ func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 }
 
 // compute runs the engine and wraps the result in an unpublished Snapshot.
-// stats must describe g; recomputes pass the prior snapshot's stats so an
-// unchanged graph is not re-summarized.
-func (s *Server) compute(e *entry, g *graph.Graph, stats graph.Stats, opts pcpm.Options) (*Snapshot, error) {
+// stats and dec must describe g; recomputes pass the prior snapshot's so an
+// unchanged graph is not re-summarized or re-decomposed.
+func (s *Server) compute(e *entry, g *graph.Graph, stats graph.Stats, dec *scc.Result, opts pcpm.Options) (*Snapshot, error) {
 	start := time.Now()
-	res, err := s.computeFn(g, opts)
+	res, err := s.computeFn(g, opts, dec)
 	if err != nil {
 		return nil, err
 	}
 	snap := &Snapshot{
 		Graph:       g,
 		Stats:       stats,
+		SCC:         dec,
 		Ranks:       res.Ranks,
 		Options:     opts,
 		Method:      res.Method,
@@ -629,6 +664,15 @@ func (s *Server) fillDefaults(opts pcpm.Options) pcpm.Options {
 	opts.CompactIDs = opts.CompactIDs || d.CompactIDs
 	opts.BranchingGather = opts.BranchingGather || d.BranchingGather
 	return opts
+}
+
+// graphStats summarizes g for a snapshot, including the SCC structure
+// (component count and largest component, paper Table 4 extended) that
+// graph.ComputeStats cannot fill itself. The decomposition rides along on
+// the snapshot for the edge-delta path.
+func graphStats(g *graph.Graph) (graph.Stats, *scc.Result) {
+	dec := scc.Decompose(g, 0)
+	return scc.StatsFor(g, dec), dec
 }
 
 func (s *Server) lookup(name string) (*entry, error) {

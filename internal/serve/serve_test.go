@@ -16,6 +16,7 @@ import (
 	pcpm "repro"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/scc"
 )
 
 // testGraph is a small deterministic random graph shared by the tests.
@@ -413,7 +414,7 @@ func TestRecomputeAsyncAndCoalescing(t *testing.T) {
 
 	// Gate the engine so the recompute stays observably in flight.
 	release := make(chan struct{})
-	s.computeFn = func(g *graph.Graph, o pcpm.Options) (*pcpm.Result, error) {
+	s.computeFn = func(g *graph.Graph, o pcpm.Options, _ *scc.Result) (*pcpm.Result, error) {
 		res, err := pcpm.Run(g, o)
 		<-release
 		return res, err
@@ -472,7 +473,7 @@ func TestAddGraphConcurrentDuplicateBurnsOneCompute(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
-	s.computeFn = func(g *graph.Graph, o pcpm.Options) (*pcpm.Result, error) {
+	s.computeFn = func(g *graph.Graph, o pcpm.Options, _ *scc.Result) (*pcpm.Result, error) {
 		computes.Add(1)
 		once.Do(func() { close(entered) })
 		<-release
