@@ -19,12 +19,19 @@
 //	pcpm-loadtest -addr http://127.0.0.1:8080 -graph web -nodes 1791489 -ops 10000
 //	pcpm-loadtest -self -mix 'topk=10,ppr=60,batch=20,recompute=5,upload=5' -seed 7
 //	pcpm-loadtest -self -mix 'topk=40,rank=10,ppr=20,mutate=20,recompute=5' -seed 7
+//	pcpm-loadtest -self -data-dir /tmp/pcpm-load -mix 'topk=40,mutate=20,restart=2'
 //
 // The mutate kind exercises the dynamic-graph path: each mutate op POSTs a
 // small edge-insert batch to /v1/graphs/{name}/edges and then deletes the
 // same batch, so the replayed graph's edge count is conserved. Mutate and
 // upload do not compose in one mix (a replace re-upload between the two
 // halves invalidates the delete).
+//
+// The restart kind (requires -self with -data-dir) exercises crash
+// recovery under load: each restart op closes the in-process server and
+// recovers a fresh one from the data directory while the rest of the
+// traffic is held back, so the restart's latency sample is the recovery
+// time.
 //
 // The same -seed always replays the same request sequence, so two builds
 // of the server can be compared on identical traffic.
@@ -38,6 +45,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	pcpm "repro"
@@ -64,7 +72,9 @@ func main() {
 		mixSpec = flag.String("mix", "", `operation mix, e.g. "topk=50,rank=15,ppr=25,batch=6,recompute=2,upload=2" (default: that profile); add mutate=N for edge-update traffic`)
 		compRec = flag.Bool("recompute-componentwise", false, "recompute ops request the componentwise (SCC-condensation) solver via overrides")
 		upload  = flag.String("upload-file", "", "graph file re-uploaded by upload ops (remote mode; -self uses the generated graph)")
-		out     = flag.String("o", "", "write the JSON report here (default stdout)")
+		dataDir = flag.String("data-dir", "",
+			"durable data directory for the -self server; required for restart=N mix traffic (each restart op recovers the server from it)")
+		out = flag.String("o", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
 
@@ -96,12 +106,13 @@ func main() {
 
 	switch {
 	case *self:
-		base, body, err := startSelfTarget(*name, *nodes, *degree, *seed)
+		base, body, restart, err := startSelfTarget(*name, *nodes, *degree, *seed, *dataDir)
 		if err != nil {
 			fail(err)
 		}
 		cfg.BaseURL = base
 		cfg.UploadBody = body
+		cfg.RestartFn = restart
 		cfg.MeasureAllocs = true
 		fmt.Fprintf(os.Stderr, "pcpm-loadtest: in-process server at %s (%d nodes)\n", base, *nodes)
 	case *addr != "":
@@ -159,28 +170,67 @@ func main() {
 
 // startSelfTarget generates a deterministic scale-free graph (preferential
 // attachment, like a follower network), loads it into an in-process serving
-// daemon on a loopback port, and returns the base URL plus the graph's
-// binary serialization (the re-upload payload).
-func startSelfTarget(name string, nodes, degree int, seed uint64) (string, []byte, error) {
+// daemon on a loopback port, and returns the base URL, the graph's binary
+// serialization (the re-upload payload), and — when dataDir is set — a
+// restart function that tears the server down and recovers a fresh one
+// from the data directory, the in-process analogue of relaunching
+// pcpm-serve -data-dir on the same port.
+func startSelfTarget(name string, nodes, degree int, seed uint64, dataDir string) (string, []byte, func() error, error) {
 	g, err := gen.PreferentialAttachment(nodes, degree, seed, graph.BuildOptions{})
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	var bin bytes.Buffer
 	if err := pcpm.SaveBinary(&bin, g); err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 
 	opts := pcpm.Options{Iterations: 10}
-	srv := serve.New(serve.Config{Defaults: opts})
+	newServer := func() (*serve.Server, error) {
+		srv := serve.New(serve.Config{Defaults: opts, DataDir: dataDir})
+		if _, err := srv.Recover(); err != nil {
+			return nil, err
+		}
+		return srv, nil
+	}
+	srv, err := newServer()
+	if err != nil {
+		return "", nil, nil, err
+	}
 	if _, err := srv.AddGraph(name, g, opts, false); err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// The listener outlives individual servers: restarts swap the handler
+	// behind it, so the base URL stays stable across recoveries.
+	var handler atomic.Value
+	handler.Store(srv.Handler())
+	hs := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	go hs.Serve(l) //nolint:errcheck // lives for the process
-	return "http://" + l.Addr().String(), bin.Bytes(), nil
+
+	var restart func() error
+	if dataDir != "" {
+		cur := srv
+		restart = func() error {
+			if err := cur.CloseDurable(); err != nil {
+				return err
+			}
+			next, err := newServer()
+			if err != nil {
+				return err
+			}
+			handler.Store(next.Handler())
+			cur = next
+			return nil
+		}
+	}
+	return "http://" + l.Addr().String(), bin.Bytes(), restart, nil
 }

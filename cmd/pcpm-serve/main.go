@@ -56,6 +56,12 @@ func main() {
 			"idle personalized-PageRank engines retained per graph for cache misses (~25 bytes/node each; negative disables pooling)")
 		maxDelta = flag.Int("max-delta-edges", 100000,
 			"largest edge-update batch (insertions+deletions) accepted by POST /v1/graphs/{name}/edges; bigger batches get 413 (negative removes the limit)")
+		dataDir = flag.String("data-dir", "",
+			"durable data directory (write-ahead log + snapshots); empty keeps graphs memory-only and a restart loses them")
+		fsync = flag.String("fsync", "always",
+			"WAL fsync policy with -data-dir: always (every append), never, or an interval like 100ms")
+		checkpointEvery = flag.Duration("checkpoint-every", 5*time.Minute,
+			"interval between snapshot checkpoints with -data-dir (0 disables periodic checkpoints; one is always taken on graceful shutdown)")
 		verbose = flag.Bool("v", false, "debug logging")
 	)
 	var preload []string
@@ -74,6 +80,12 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	fsyncEvery, err := parseFsync(*fsync)
+	if err != nil {
+		logger.Error("bad -fsync", "error", err)
+		os.Exit(2)
+	}
+
 	srv := serve.New(serve.Config{
 		Defaults: pcpm.Options{
 			Method:         pcpm.Method(*method),
@@ -88,14 +100,58 @@ func main() {
 		PPRCacheSize:      *pprCache,
 		PPREnginePoolSize: *pprPool,
 		MaxDeltaEdges:     *maxDelta,
+		DataDir:           *dataDir,
+		FsyncEvery:        fsyncEvery,
 	})
+
+	// Warm recovery before preload and before accepting traffic: load the
+	// newest snapshots, replay the log tail, fail closed on corruption.
+	report, err := srv.Recover()
+	if err != nil {
+		logger.Error("recovery failed", "data-dir", *dataDir, "error", err)
+		os.Exit(1)
+	}
+	recovered := make(map[string]bool)
+	for _, info := range srv.List() {
+		recovered[info.Name] = true
+	}
 
 	for _, spec := range preload {
 		name, path, _ := strings.Cut(spec, "=")
+		if recovered[name] {
+			// The durable copy (which may carry applied edge deltas) wins
+			// over re-ingesting the original file.
+			logger.Info("preload skipped: recovered from data dir", "graph", name)
+			continue
+		}
 		if err := loadFile(srv, name, path); err != nil {
 			logger.Error("preload failed", "graph", name, "path", path, "error", err)
 			os.Exit(1)
 		}
+	}
+	if *dataDir != "" {
+		logger.Info("durability on", "data-dir", *dataDir, "fsync", *fsync,
+			"recovered_graphs", report.Graphs, "replayed", report.Replayed,
+			"drift_recomputes", report.DriftRecomputes)
+	}
+
+	var stopCheckpoints chan struct{}
+	if *dataDir != "" && *checkpointEvery > 0 {
+		stopCheckpoints = make(chan struct{})
+		go func() {
+			t := time.NewTicker(*checkpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := srv.Checkpoint(); err != nil {
+						logger.Error("checkpoint failed", "error", err)
+					}
+				case <-stopCheckpoints:
+					return
+				}
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{
@@ -127,7 +183,32 @@ func main() {
 		logger.Error("shutdown incomplete", "error", err)
 		os.Exit(1)
 	}
+	if stopCheckpoints != nil {
+		close(stopCheckpoints)
+	}
+	// Final checkpoint + store close, so the next start replays (almost)
+	// nothing. A crash skips this — that is what recovery is for.
+	if err := srv.CloseDurable(); err != nil {
+		logger.Error("durable close failed", "error", err)
+		os.Exit(1)
+	}
 	logger.Info("bye")
+}
+
+// parseFsync maps the -fsync flag to serve.Config.FsyncEvery: "always" →
+// 0 (fsync every append), "never" → -1, otherwise a positive duration.
+func parseFsync(v string) (time.Duration, error) {
+	switch v {
+	case "always":
+		return 0, nil
+	case "never":
+		return -1, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("want always, never, or a positive duration, got %q", v)
+	}
+	return d, nil
 }
 
 // loadFile ingests one preload graph, auto-detecting its format.

@@ -421,6 +421,18 @@ func TestPropertyEnginesAgreeOnRandomGraphs(t *testing.T) {
 		}
 		cfg := Config{PartitionBytes: partBytes, Workers: 2}
 		ref := refPageRank(g, DefaultDamping, 6, DanglingLeak)
+		// The engines keep float32 ranks while the reference is float64,
+		// so summing k in-edge contributions accumulates up to ~k ulps of
+		// rounding. The generator can draw thousands of parallel edges
+		// onto a handful of vertices (m up to 2000 on n as small as 2),
+		// where a flat 1e-5 has no headroom — widen with max in-degree.
+		maxInDeg := 0
+		for v := 0; v < n; v++ {
+			if d := len(g.InNeighbors(graph.NodeID(v))); d > maxInDeg {
+				maxInDeg = d
+			}
+		}
+		tol := 1e-5 + float64(maxInDeg)*5e-8
 		for _, mk := range []func(*graph.Graph, Config) (Engine, error){
 			func(g *graph.Graph, c Config) (Engine, error) { return NewPDPR(g, c) },
 			func(g *graph.Graph, c Config) (Engine, error) { return NewBVGAS(g, c) },
@@ -432,7 +444,7 @@ func TestPropertyEnginesAgreeOnRandomGraphs(t *testing.T) {
 				return false
 			}
 			RunIterations(e, 6)
-			if maxDiffVsRef(e.Ranks(), ref) > 1e-5 {
+			if maxDiffVsRef(e.Ranks(), ref) > tol {
 				return false
 			}
 		}

@@ -79,6 +79,78 @@ func FuzzReadBinary(f *testing.F) {
 	})
 }
 
+// lyingSnapshotHeader claims huge section lengths on a tiny stream; the
+// reader must reject it without allocating what the header promises.
+func lyingSnapshotHeader(metaLen uint32, ranksN, graphLen uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	binary.Write(&buf, binary.LittleEndian, uint32(snapshotVersion)) //nolint:errcheck // bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, metaLen)                 //nolint:errcheck // bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, ranksN)                  //nolint:errcheck // bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, graphLen)                //nolint:errcheck // bytes.Buffer
+	buf.WriteString("short")
+	return buf.Bytes()
+}
+
+// FuzzSnapshotLoad hammers the snapshot reader warm recovery trusts with
+// whatever it finds on disk. Any input may be rejected, but none may panic
+// or allocate against a lying header; accepted snapshots must carry a
+// structurally valid graph, a matching rank vector, and survive a
+// write/read round-trip byte-identically.
+func FuzzSnapshotLoad(f *testing.F) {
+	seed := func(weighted bool) []byte {
+		edges := []Edge{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 2}, {Src: 2, Dst: 0, W: 3}}
+		g, err := FromEdges(4, edges, weighted, BuildOptions{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		s := &Snapshot{Graph: g, Ranks: []float32{0.4, 0.3, 0.2, 0.1}, Meta: []byte(`{"lsn":7}`)}
+		if err := WriteSnapshot(&buf, s); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PCPMSNP"))                    // magic truncated
+	f.Add(seed(false))                          // valid unweighted
+	f.Add(seed(true))                           // valid weighted
+	f.Add(seed(false)[:20])                     // header cut mid-field
+	f.Add(lyingSnapshotHeader(1<<31, 1<<40, 1)) // meta + rank bombs
+	f.Add(lyingSnapshotHeader(8, 4, 1<<60))     // graph-length bomb
+	f.Add(append(seed(false), 0xde, 0xad))      // trailing garbage is ignored
+	corrupt := seed(true)
+	corrupt[len(corrupt)/2] ^= 0x40
+	f.Add(corrupt) // checksum must catch a mid-payload flip
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		s, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panicking or ballooning is the bug class
+		}
+		if verr := s.Graph.Validate(); verr != nil {
+			t.Fatalf("ReadSnapshot accepted an invalid graph: %v", verr)
+		}
+		if len(s.Ranks) != s.Graph.NumNodes() {
+			t.Fatalf("ReadSnapshot accepted %d ranks for %d nodes", len(s.Ranks), s.Graph.NumNodes())
+		}
+		var buf bytes.Buffer
+		if werr := WriteSnapshot(&buf, s); werr != nil {
+			t.Fatalf("round-trip write failed: %v", werr)
+		}
+		s2, rerr := ReadSnapshot(&buf)
+		if rerr != nil {
+			t.Fatalf("round-trip read failed: %v", rerr)
+		}
+		if !s.Graph.Equal(s2.Graph) || !bytes.Equal(s.Meta, s2.Meta) {
+			t.Fatal("round-trip changed the snapshot")
+		}
+	})
+}
+
 // FuzzSniffBinary pins the sniffing contract the upload dispatcher relies
 // on: SniffBinary never panics on arbitrary (including short) heads, and
 // every stream ReadBinary accepts is one SniffBinary claims.

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenSnapshotCorpus(t *testing.T) {
+	if os.Getenv("GRAPH_GEN_CORPUS") == "" {
+		t.Skip("corpus generator")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzSnapshotLoad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	valid := encodeSnapshot(t, testSnapshot(t, false))
+	weighted := encodeSnapshot(t, testSnapshot(t, true))
+	corrupt := append([]byte(nil), weighted...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	seeds := map[string][]byte{
+		"seed_valid_unweighted": valid,
+		"seed_valid_weighted":   weighted,
+		"seed_truncated_header": valid[:20],
+		"seed_lying_sections":   lyingSnapshotHeader(1<<31, 1<<40, 1),
+		"seed_lying_graph_len":  lyingSnapshotHeader(8, 4, 1<<60),
+		"seed_payload_bitflip":  corrupt,
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func testSnapshot(t testing.TB, weighted bool) *Snapshot {
+	t.Helper()
+	edges := []Edge{
+		{Src: 0, Dst: 1, W: 1}, {Src: 0, Dst: 2, W: 2}, {Src: 1, Dst: 2, W: 0.5},
+		{Src: 2, Dst: 0, W: 1}, {Src: 3, Dst: 3, W: 4},
+	}
+	g, err := FromEdges(5, edges, weighted, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 11))
+	ranks := make([]float32, g.NumNodes())
+	for i := range ranks {
+		ranks[i] = rng.Float32()
+	}
+	return &Snapshot{Graph: g, Ranks: ranks, Meta: []byte(`{"name":"t","lsn":42}`)}
+}
+
+func encodeSnapshot(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		s := testSnapshot(t, weighted)
+		got, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, s)))
+		if err != nil {
+			t.Fatalf("weighted=%v: %v", weighted, err)
+		}
+		if !got.Graph.Equal(s.Graph) {
+			t.Fatalf("weighted=%v: graph changed in round-trip", weighted)
+		}
+		if len(got.Ranks) != len(s.Ranks) {
+			t.Fatalf("ranks length %d, want %d", len(got.Ranks), len(s.Ranks))
+		}
+		for i := range s.Ranks {
+			if got.Ranks[i] != s.Ranks[i] {
+				t.Fatalf("rank[%d] = %v, want %v (must be byte-exact)", i, got.Ranks[i], s.Ranks[i])
+			}
+		}
+		if !bytes.Equal(got.Meta, s.Meta) {
+			t.Fatalf("meta = %q, want %q", got.Meta, s.Meta)
+		}
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	s := testSnapshot(t, true)
+	if a, b := encodeSnapshot(t, s), encodeSnapshot(t, s); !bytes.Equal(a, b) {
+		t.Fatal("two encodings of the same snapshot differ")
+	}
+}
+
+func TestSnapshotWriteRejectsRankMismatch(t *testing.T) {
+	s := testSnapshot(t, false)
+	s.Ranks = s.Ranks[:len(s.Ranks)-1]
+	if err := WriteSnapshot(&bytes.Buffer{}, s); err == nil {
+		t.Fatal("WriteSnapshot accepted a short rank vector")
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	valid := encodeSnapshot(t, testSnapshot(t, true))
+	cases := map[string]func() []byte{
+		"bad magic": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] ^= 0xff
+			return b
+		},
+		"future version": func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint32(b[8:], snapshotVersion+1)
+			return b
+		},
+		"flipped payload bit": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)/2] ^= 0x01
+			return b
+		},
+		"flipped checksum": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[len(b)-1] ^= 0x01
+			return b
+		},
+		"truncated": func() []byte { return valid[:len(valid)-5] },
+		"lying meta length": func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint32(b[12:], 1<<30)
+			return b
+		},
+		"lying rank count": func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(b[16:], 1<<40)
+			return b
+		},
+		"lying graph length": func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(b[24:], binary.LittleEndian.Uint64(b[24:])+8)
+			return b
+		},
+	}
+	for name, mutate := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(mutate())); err == nil {
+			t.Errorf("%s: ReadSnapshot accepted damaged input", name)
+		}
+	}
+}
+
+// TestSnapshotEveryTruncation cuts a valid snapshot at every byte boundary;
+// the reader must reject each prefix with an error, never a panic — the
+// exact shape a crash mid-snapshot-write would leave if the atomic-rename
+// protocol were ever bypassed.
+func TestSnapshotEveryTruncation(t *testing.T) {
+	valid := encodeSnapshot(t, testSnapshot(t, false))
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := ReadSnapshot(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("ReadSnapshot accepted a %d/%d-byte prefix", cut, len(valid))
+		}
+	}
+}
+
+func TestSnapshotTrailingGarbageIgnored(t *testing.T) {
+	// Like ReadBinary, the reader consumes exactly its own framing so it
+	// can be embedded in a larger stream.
+	b := append(encodeSnapshot(t, testSnapshot(t, false)), "trailing"...)
+	if _, err := ReadSnapshot(bytes.NewReader(b)); err != nil {
+		t.Fatalf("trailing bytes broke the read: %v", err)
+	}
+}
+
+func TestSnapshotEmptyMetaAndGraph(t *testing.T) {
+	g, err := FromEdges(0, nil, false, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Snapshot{Graph: g}
+	got, err := ReadSnapshot(bytes.NewReader(encodeSnapshot(t, s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumNodes() != 0 || len(got.Ranks) != 0 || len(got.Meta) != 0 {
+		t.Fatalf("empty snapshot round-tripped to %d nodes, %d ranks, %d meta bytes",
+			got.Graph.NumNodes(), len(got.Ranks), len(got.Meta))
+	}
+}
+
+func TestSnapshotVersionErrorNamesVersions(t *testing.T) {
+	b := encodeSnapshot(t, testSnapshot(t, false))
+	binary.LittleEndian.PutUint32(b[8:], 99)
+	_, err := ReadSnapshot(bytes.NewReader(b))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("err = %v, want the unsupported version named", err)
+	}
+}

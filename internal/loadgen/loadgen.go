@@ -4,7 +4,8 @@
 // single and batch personalized PageRank queries with Zipf-skewed seed
 // sets, batched edge mutations (each insert batch paired with a delete of
 // the same batch, so the graph's edge count is conserved over the replay),
-// periodic recomputes, and graph re-uploads — replays it against a live
+// periodic recomputes, graph re-uploads, and (against a durable target)
+// whole-server restarts — replays it against a live
 // server over HTTP with bounded concurrency, and reports per-endpoint
 // latency percentiles, error counts, and (in-process targets only)
 // allocations per operation.
@@ -30,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -47,10 +49,11 @@ const (
 	OpMutate    OpKind = "mutate"
 	OpRecompute OpKind = "recompute"
 	OpUpload    OpKind = "upload"
+	OpRestart   OpKind = "restart"
 )
 
 // opKinds is the fixed aggregation order of reports.
-var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute, OpUpload}
+var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute, OpUpload, OpRestart}
 
 // Mix holds the relative weights of each operation kind in the schedule.
 // Weights are proportions, not percentages; the zero value of a field
@@ -60,6 +63,14 @@ var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute,
 // edges it inserted with a second request, and a concurrent re-upload
 // (replace) resets the graph between the two, making the delete fail. Use
 // one or the other per replay.
+//
+// Restart ops exercise the crash-recovery path of a durable daemon: each
+// one calls Config.RestartFn while every other in-flight operation is held
+// back, so the replay measures recovery time as a latency sample and then
+// resumes the mixed traffic against the recovered server. Restart requires
+// RestartFn and composes with Mutate — a restart between a mutate op's
+// insert and delete halves recovers the inserted batch from the log, so
+// the delete stays valid.
 type Mix struct {
 	TopK      int `json:"topk"`
 	Rank      int `json:"rank"`
@@ -68,6 +79,7 @@ type Mix struct {
 	Mutate    int `json:"mutate"`
 	Recompute int `json:"recompute"`
 	Upload    int `json:"upload"`
+	Restart   int `json:"restart"`
 }
 
 // DefaultMix is a read-heavy serving profile: mostly cached global reads,
@@ -91,6 +103,7 @@ func ParseMix(spec string) (Mix, error) {
 		string(OpMutate):    &m.Mutate,
 		string(OpRecompute): &m.Recompute,
 		string(OpUpload):    &m.Upload,
+		string(OpRestart):   &m.Restart,
 	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -130,6 +143,8 @@ func (m Mix) weight(k OpKind) int {
 		return m.Recompute
 	case OpUpload:
 		return m.Upload
+	case OpRestart:
+		return m.Restart
 	}
 	return 0
 }
@@ -170,6 +185,13 @@ type Config struct {
 	// UploadBody is the graph payload re-uploaded (replace=true) by upload
 	// operations; nil disables them.
 	UploadBody []byte
+	// RestartFn restarts the target server for restart operations and
+	// returns once it serves again (e.g. kill the process, relaunch it with
+	// the same -data-dir, poll /healthz). Restarts run exclusively: the
+	// replay drains in-flight requests first and holds new ones until the
+	// function returns, so its duration is the recovery-latency sample.
+	// nil disables restart operations.
+	RestartFn func() error
 	// Client overrides the HTTP client (default: 30 s timeout).
 	Client *http.Client
 	// MeasureAllocs samples allocations per operation per endpoint after
@@ -211,6 +233,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.UploadBody == nil {
 		cfg.Mix.Upload = 0
+	}
+	if cfg.RestartFn == nil {
+		cfg.Mix.Restart = 0
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
@@ -372,7 +397,11 @@ func Run(cfg Config) (*Report, error) {
 	failed := make([]bool, len(ops))
 	start := time.Now()
 	// A shared channel of indices keeps op order stable while letting the
-	// configured number of workers drain it.
+	// configured number of workers drain it. The gate gives restart ops
+	// exclusivity: normal traffic holds it shared, a restart holds it
+	// exclusively, so no request is in flight while the server is down and
+	// held-back requests resume against the recovered server.
+	var gate sync.RWMutex
 	idx := make(chan int)
 	done := make(chan struct{})
 	workers := cfg.Concurrency
@@ -384,7 +413,15 @@ func Run(cfg Config) (*Report, error) {
 			defer func() { done <- struct{}{} }()
 			for i := range idx {
 				t0 := time.Now()
-				failed[i] = c.do(ops[i]) != nil
+				if ops[i].Kind == OpRestart {
+					gate.Lock()
+					failed[i] = cfg.RestartFn() != nil
+					gate.Unlock()
+				} else {
+					gate.RLock()
+					failed[i] = c.do(ops[i]) != nil
+					gate.RUnlock()
+				}
 				latencies[i] = time.Since(t0)
 			}
 		}()
@@ -468,6 +505,11 @@ const allocProbeOps = 16
 func probeAllocs(c *client, ops []Op, rep *Report) {
 	for ei := range rep.Endpoints {
 		kind := OpKind(rep.Endpoints[ei].Endpoint)
+		if kind == OpRestart {
+			// A restart is not an allocation-bounded request; rerunning one
+			// here would tear the server down mid-probe.
+			continue
+		}
 		var sample []Op
 		for _, op := range ops {
 			if op.Kind == kind {

@@ -9,6 +9,7 @@ import (
 	pcpm "repro"
 	"repro/internal/delta"
 	"repro/internal/ppr"
+	"repro/internal/wal"
 )
 
 // Errors of the edge-delta path; the HTTP layer maps ErrBadDelta to 400 and
@@ -27,13 +28,27 @@ const defaultMaxDeltaEdges = 100000
 // mutation can demand is bounded.
 const maxDeltaRounds = 1000
 
-// maxRepairDrift is the cumulative incremental-repair error budget: once
-// the sum of repair residual bounds since the last full engine run crosses
-// it, the next delta forces a recompute instead of repairing. At the
-// default repair epsilon (1e-6) that is ~1000 consecutive incremental
-// deltas — and the budget is still 40x below the convergence error of the
-// default 20-iteration engine run itself.
+// maxRepairDrift is the default cumulative incremental-repair error
+// budget: once the sum of repair residual bounds since the last full
+// engine run crosses it, the next delta forces a recompute instead of
+// repairing. At the default repair epsilon (1e-6) that is ~1000
+// consecutive incremental deltas — and the budget is still 40x below the
+// convergence error of the default 20-iteration engine run itself.
+// Config.MaxRepairDrift overrides it (negative disables the budget). The
+// drift rides in the published snapshot AND in the persisted snapshot
+// metadata, so a recovery replaying a long mutation stream re-accumulates
+// it and forces the same budgeted recompute the live daemon would have.
 const maxRepairDrift = 1e-3
+
+func (s *Server) repairDriftBudget() float64 {
+	switch {
+	case s.cfg.MaxRepairDrift == 0:
+		return maxRepairDrift
+	case s.cfg.MaxRepairDrift < 0:
+		return math.Inf(1)
+	}
+	return s.cfg.MaxRepairDrift
+}
 
 // DeltaStatus reports one applied edge-delta batch.
 type DeltaStatus struct {
@@ -110,7 +125,9 @@ func (s *Server) ApplyEdgeDelta(name string, d delta.EdgeDelta) (DeltaStatus, er
 	if d.Size() == 0 {
 		return DeltaStatus{}, fmt.Errorf("%w: no insertions or deletions", ErrBadDelta)
 	}
-	if limit := s.maxDeltaEdges(); d.Size() > limit {
+	// A replayed batch was already admitted by the live daemon; a smaller
+	// configured cap on restart must not turn recovery into corruption.
+	if limit := s.maxDeltaEdges(); !s.replaying && d.Size() > limit {
 		return DeltaStatus{}, fmt.Errorf("%w: %d edge changes exceed the limit of %d",
 			ErrDeltaTooLarge, d.Size(), limit)
 	}
@@ -194,9 +211,12 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 	// accumulated repair-error budget is spent: drift bounds only sum.
 	fellBack, reason := res.FellBack, res.Reason
 	drift := snap.RepairDrift + res.ResidualL1
-	if !fellBack && drift > maxRepairDrift {
+	if budget := s.repairDriftBudget(); !fellBack && drift > budget {
 		fellBack = true
-		reason = fmt.Sprintf("accumulated repair drift %.3g exceeds budget %.3g", drift, maxRepairDrift)
+		reason = fmt.Sprintf("accumulated repair drift %.3g exceeds budget %.3g", drift, budget)
+		if s.replaying {
+			s.replayDriftRecomputes++
+		}
 	}
 
 	var ns *Snapshot
@@ -230,6 +250,15 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 		}
 		ns.topk = pcpm.TopK(ns.Ranks, min(topKCacheSize, len(ns.Ranks)))
 	}
+	// Write-ahead: the batch becomes durable before its snapshot becomes
+	// visible. Parent links the record to the snapshot it mutated so
+	// replay can skip a delta that published into an orphaned entry.
+	lsn, err := s.walAppend(wal.RecEdgeDelta,
+		deltaMeta{Name: e.name, Parent: snap.WalLSN, Insert: d.Insert, Delete: d.Delete}, nil)
+	if err != nil {
+		return DeltaStatus{}, err
+	}
+	ns.WalLSN = lsn
 	e.snap.Store(ns)
 	st.Version = ns.Version
 	st.Drift = ns.RepairDrift

@@ -1,0 +1,386 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	pcpm "repro"
+	"repro/internal/delta"
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// Durability: when Config.DataDir is set, every successful mutation —
+// ingest, edge delta, removal, recompute — is appended to the write-ahead
+// log in internal/wal before its snapshot is published, and Recover
+// warm-starts the registry by loading the newest persisted snapshots and
+// replaying only the log tail on top of them.
+//
+// Replay routes each record through the same code paths the live daemon
+// used (addGraph, ApplyEdgeDelta, Remove, a synchronous recompute), so a
+// recovered registry follows the exact trajectory the live one did:
+// versions continue, repair drift re-accumulates, and the drift budget
+// forces the same full recomputes. While replaying, the append helpers
+// return the record's own LSN instead of writing, so the replayed
+// publishes carry the same WAL positions as the originals.
+//
+// Recovery state machine, per record: covered (LSN at or below the graph's
+// snapshot position → skip), orphaned (the record's parent snapshot was
+// superseded by a racing replace → skip, matching the live daemon where
+// that publish was invisible), or applied. Torn final records were already
+// truncated by wal.Open; any other damage failed the open before replay
+// started.
+
+// addMeta is the RecAddGraph payload; the graph itself rides in the blob.
+type addMeta struct {
+	Name    string       `json:"name"`
+	Replace bool         `json:"replace"`
+	Options pcpm.Options `json:"options"`
+}
+
+// deltaMeta is the RecEdgeDelta payload.
+type deltaMeta struct {
+	Name string `json:"name"`
+	// Parent is the WalLSN of the snapshot the delta was applied to. A
+	// mismatch during replay means the delta published into an entry a
+	// concurrent replace had already orphaned — its effect was never
+	// visible, so replay skips it too.
+	Parent uint64       `json:"parent"`
+	Insert []graph.Edge `json:"insert,omitempty"`
+	Delete []graph.Edge `json:"delete,omitempty"`
+}
+
+// recomputeMeta is the RecRecompute payload: the resolved options of an
+// engine re-run, so replayed option state (damping, method, ...) tracks
+// what the live daemon actually served.
+type recomputeMeta struct {
+	Name    string       `json:"name"`
+	Parent  uint64       `json:"parent"`
+	Options pcpm.Options `json:"options"`
+}
+
+// removeMeta is the RecRemoveGraph payload.
+type removeMeta struct {
+	Name string `json:"name"`
+}
+
+// snapMeta is the caller-metadata document stored inside each persisted
+// graph.Snapshot: everything a serve.Snapshot carries that the graph and
+// rank vector alone do not.
+type snapMeta struct {
+	Name       string       `json:"name"`
+	LSN        uint64       `json:"lsn"`
+	Version    uint64       `json:"version"`
+	Options    pcpm.Options `json:"options"`
+	Method     pcpm.Method  `json:"method"`
+	Iterations int          `json:"iterations"`
+	Delta      float64      `json:"delta"`
+	Drift      float64      `json:"drift"`
+	ComputedAt time.Time    `json:"computed_at"`
+}
+
+// walAppend serializes meta and appends one record, unless durability is
+// off (no-op) or a replay is in progress (the record being replayed
+// already owns an LSN — return it so republished snapshots keep their
+// original WAL positions).
+func (s *Server) walAppend(typ wal.RecordType, meta any, blob []byte) (uint64, error) {
+	if s.replaying {
+		return s.replayLSN, nil
+	}
+	if s.wal == nil {
+		return 0, nil
+	}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return 0, fmt.Errorf("serve: wal meta: %w", err)
+	}
+	lsn, err := s.wal.Append(typ, mb, blob)
+	if err != nil {
+		return 0, fmt.Errorf("serve: %w", err)
+	}
+	return lsn, nil
+}
+
+func (s *Server) walAppendAdd(name string, g *graph.Graph, opts pcpm.Options, replace bool) (uint64, error) {
+	if s.replaying {
+		return s.replayLSN, nil
+	}
+	if s.wal == nil {
+		return 0, nil
+	}
+	var blob bytes.Buffer
+	if err := graph.WriteBinary(&blob, g); err != nil {
+		return 0, fmt.Errorf("serve: wal graph blob: %w", err)
+	}
+	return s.walAppend(wal.RecAddGraph, addMeta{Name: name, Replace: replace, Options: opts}, blob.Bytes())
+}
+
+// RecoveryReport summarizes one Recover call.
+type RecoveryReport struct {
+	// Graphs registered after recovery completed.
+	Graphs int `json:"graphs"`
+	// Snapshots loaded from the store.
+	Snapshots int `json:"snapshots"`
+	// Replayed and Skipped count log-tail records applied vs. passed over
+	// (snapshot-covered, orphaned-parent, or checkpoint markers).
+	Replayed int `json:"replayed"`
+	Skipped  int `json:"skipped"`
+	// DriftRecomputes counts replayed deltas whose accumulated repair
+	// drift blew the budget and forced a full engine run — the proof that
+	// a long replayed mutation stream stays anchored to the fixed point.
+	DriftRecomputes int           `json:"drift_recomputes"`
+	Duration        time.Duration `json:"-"`
+	DurationMS      float64       `json:"duration_ms"`
+}
+
+// Recover opens the durable store under Config.DataDir, loads the newest
+// valid snapshot of every graph, replays the log tail through the live
+// mutation paths, and leaves the server appending to the log. It must be
+// called before the server accepts traffic and is a no-op when DataDir is
+// empty. Corruption anywhere except a torn final record fails closed with
+// the offending file and offset.
+func (s *Server) Recover() (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	if s.cfg.DataDir == "" {
+		return rep, nil
+	}
+	if s.wal != nil {
+		return nil, errors.New("serve: Recover called twice")
+	}
+	start := time.Now()
+	st, err := wal.Open(s.cfg.DataDir, wal.Options{SyncEvery: s.cfg.FsyncEvery})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: seed the registry from the persisted snapshots.
+	covered := make(map[string]uint64)
+	var maxLSN uint64
+	for _, gs := range st.Snapshots() {
+		var m snapMeta
+		if err := json.Unmarshal(gs.Snap.Meta, &m); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("serve: snapshot %q metadata: %w", gs.Name, err)
+		}
+		if m.Name != gs.Name {
+			st.Close()
+			return nil, fmt.Errorf("serve: snapshot file for %q names graph %q", gs.Name, m.Name)
+		}
+		e := &entry{
+			name:    gs.Name,
+			ppr:     newPPRCache(s.cfg.PPRCacheSize),
+			pprWait: make(map[string]*pprInflight),
+		}
+		stats, dec := graphStats(gs.Snap.Graph)
+		snap := &Snapshot{
+			Graph:       gs.Snap.Graph,
+			Stats:       stats,
+			SCC:         dec,
+			Ranks:       gs.Snap.Ranks,
+			Options:     m.Options,
+			Method:      m.Method,
+			Iterations:  m.Iterations,
+			Delta:       m.Delta,
+			Version:     m.Version,
+			RepairDrift: m.Drift,
+			WalLSN:      m.LSN,
+			ComputedAt:  m.ComputedAt,
+		}
+		snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+		e.version.Store(m.Version)
+		e.snap.Store(snap)
+		s.mu.Lock()
+		s.graphs[gs.Name] = e
+		s.mu.Unlock()
+		covered[gs.Name] = m.LSN
+		maxLSN = max(maxLSN, m.LSN)
+		rep.Snapshots++
+	}
+	if err := st.Advance(maxLSN); err != nil {
+		st.Close()
+		return nil, err
+	}
+
+	// Phase 2: replay the log tail through the live mutation paths.
+	s.replaying = true
+	s.replayDriftRecomputes = 0
+	err = st.Replay(func(rec *wal.Record) error {
+		return s.replayRecord(rec, covered, rep)
+	})
+	s.replaying = false
+	s.replayLSN = 0
+	rep.DriftRecomputes = s.replayDriftRecomputes
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	s.wal = st
+	rep.Graphs = s.NumGraphs()
+	rep.Duration = time.Since(start)
+	rep.DurationMS = float64(rep.Duration) / float64(time.Millisecond)
+	s.log.Info("recovery complete", "graphs", rep.Graphs, "snapshots", rep.Snapshots,
+		"replayed", rep.Replayed, "skipped", rep.Skipped,
+		"drift_recomputes", rep.DriftRecomputes, "duration", rep.Duration)
+	return rep, nil
+}
+
+// replayRecord applies one log record to the recovering registry.
+func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *RecoveryReport) error {
+	s.replayLSN = rec.LSN
+	skip := func() error { rep.Skipped++; return nil }
+	fail := func(err error) error {
+		return fmt.Errorf("serve: replaying record %d (type %d): %w", rec.LSN, rec.Type, err)
+	}
+	switch rec.Type {
+	case wal.RecCheckpoint:
+		return skip()
+
+	case wal.RecAddGraph:
+		var m addMeta
+		if err := json.Unmarshal(rec.Meta, &m); err != nil {
+			return fail(err)
+		}
+		if rec.LSN <= covered[m.Name] {
+			return skip()
+		}
+		g, err := graph.ReadBinary(bytes.NewReader(rec.Blob))
+		if err != nil {
+			return fail(err)
+		}
+		// Replace unconditionally: whatever state the name is in, the live
+		// daemon acknowledged this ingest, so it must win here too.
+		if _, err := s.addGraph(m.Name, g, m.Options, true); err != nil {
+			return fail(err)
+		}
+
+	case wal.RecEdgeDelta:
+		var m deltaMeta
+		if err := json.Unmarshal(rec.Meta, &m); err != nil {
+			return fail(err)
+		}
+		if rec.LSN <= covered[m.Name] {
+			return skip()
+		}
+		e, err := s.lookup(m.Name)
+		if err != nil || e.snap.Load().WalLSN != m.Parent {
+			return skip() // published into an entry a replace/remove orphaned
+		}
+		if _, err := s.ApplyEdgeDelta(m.Name, delta.EdgeDelta{Insert: m.Insert, Delete: m.Delete}); err != nil {
+			return fail(err)
+		}
+
+	case wal.RecRecompute:
+		var m recomputeMeta
+		if err := json.Unmarshal(rec.Meta, &m); err != nil {
+			return fail(err)
+		}
+		if rec.LSN <= covered[m.Name] {
+			return skip()
+		}
+		e, err := s.lookup(m.Name)
+		if err != nil || e.snap.Load().WalLSN != m.Parent {
+			return skip()
+		}
+		if err := s.replayRecompute(e, m.Options); err != nil {
+			return fail(err)
+		}
+
+	case wal.RecRemoveGraph:
+		var m removeMeta
+		if err := json.Unmarshal(rec.Meta, &m); err != nil {
+			return fail(err)
+		}
+		if rec.LSN <= covered[m.Name] {
+			return skip()
+		}
+		if err := s.Remove(m.Name); err != nil && !errors.Is(err, ErrNotFound) {
+			return fail(err)
+		}
+
+	default:
+		return fail(errors.New("unknown record type"))
+	}
+	rep.Replayed++
+	return nil
+}
+
+// replayRecompute is the synchronous replay form of runRecompute: same
+// compute, same publish, no inflight machinery (replay is single-threaded).
+func (s *Server) replayRecompute(e *entry, opts pcpm.Options) error {
+	old := e.snap.Load()
+	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts)
+	if err != nil {
+		return err
+	}
+	snap.WalLSN = s.replayLSN
+	e.snap.Store(snap)
+	e.mu.Lock()
+	e.pool.invalidate()
+	e.mu.Unlock()
+	return nil
+}
+
+// Checkpoint persists every registered graph's current snapshot to the
+// durable store and truncates the log up to the covered positions. Safe to
+// call concurrently with serving traffic: it reads only published
+// (immutable) snapshots. A no-op when durability is off.
+func (s *Server) Checkpoint() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.mu.RLock()
+	entries := make([]*entry, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	ces := make([]wal.CheckpointEntry, 0, len(entries))
+	for _, e := range entries {
+		snap := e.snap.Load()
+		mb, err := json.Marshal(snapMeta{
+			Name:       e.name,
+			LSN:        snap.WalLSN,
+			Version:    snap.Version,
+			Options:    snap.Options,
+			Method:     snap.Method,
+			Iterations: snap.Iterations,
+			Delta:      snap.Delta,
+			Drift:      snap.RepairDrift,
+			ComputedAt: snap.ComputedAt,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: snapshot meta: %w", err)
+		}
+		ces = append(ces, wal.CheckpointEntry{
+			Name: e.name,
+			LSN:  snap.WalLSN,
+			Snap: &graph.Snapshot{Graph: snap.Graph, Ranks: snap.Ranks, Meta: mb},
+		})
+	}
+	if err := s.wal.Checkpoint(ces); err != nil {
+		return err
+	}
+	s.log.Info("checkpoint complete", "graphs", len(ces))
+	return nil
+}
+
+// CloseDurable takes a final checkpoint and closes the durable store. The
+// server keeps serving reads afterwards, but further mutations are no
+// longer logged; call it only on shutdown.
+func (s *Server) CloseDurable() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.Checkpoint()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}

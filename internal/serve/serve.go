@@ -26,6 +26,7 @@ import (
 	pcpm "repro"
 	"repro/internal/graph"
 	"repro/internal/scc"
+	"repro/internal/wal"
 )
 
 // Errors returned by registry operations; the HTTP layer maps them to
@@ -84,6 +85,12 @@ type Snapshot struct {
 	// ComputedAt and ComputeTime record when and how long the engine ran.
 	ComputedAt  time.Time
 	ComputeTime time.Duration
+	// WalLSN is the write-ahead-log position of the mutation that produced
+	// this snapshot (zero when durability is off). Stored inside the
+	// atomically-published snapshot so checkpoint coverage is exact: a
+	// snapshot persisted at WalLSN L reflects every log record for this
+	// graph up to and including L, and recovery replay skips those.
+	WalLSN uint64
 
 	topk []pcpm.RankEntry // first topKCacheSize entries, precomputed
 }
@@ -165,6 +172,22 @@ type Config struct {
 	// negative removes the limit). Oversized batches are rejected before
 	// any rebuild or repair work is spent.
 	MaxDeltaEdges int
+	// DataDir enables durability: every successful ingest, edge delta,
+	// removal, and recompute is appended to a write-ahead log under this
+	// directory before its snapshot is published, and Recover warm-starts
+	// the registry from the newest snapshots plus the log tail. Empty
+	// (the default) keeps the registry memory-only.
+	DataDir string
+	// FsyncEvery selects the WAL fsync policy when DataDir is set: zero
+	// (the default) fsyncs every append before acknowledging it, negative
+	// never fsyncs explicitly, positive fsyncs at that interval from a
+	// background goroutine.
+	FsyncEvery time.Duration
+	// MaxRepairDrift overrides the cumulative incremental-repair error
+	// budget that forces a full recompute once crossed (see
+	// maxRepairDrift; zero keeps the 1e-3 default, negative disables the
+	// budget entirely).
+	MaxRepairDrift float64
 }
 
 // Server owns the graph registry and serves rank queries. Create one with
@@ -192,6 +215,19 @@ type Server struct {
 	// queries against one entry's graph (borrowing pooled engines); tests
 	// substitute it to observe coalescing.
 	pprRunFn func(*entry, [][]uint32, pcpm.PPRRunOptions) ([]*pcpm.PPRResult, error)
+
+	// wal is the durable store, set by Recover when Config.DataDir is
+	// given; nil keeps the server memory-only. During recovery replay,
+	// replaying is set and the append helpers return replayLSN (the
+	// record being replayed) instead of writing, so replayed publishes
+	// carry their original log positions. Replay is single-threaded, so
+	// these need no lock.
+	wal       *wal.Store
+	replaying bool
+	replayLSN uint64
+	// replayDriftRecomputes counts recomputes the drift budget forced
+	// during replay; Recover reports it.
+	replayDriftRecomputes int
 }
 
 // New builds a Server from cfg.
@@ -338,6 +374,14 @@ func (s *Server) addGraph(name string, g *graph.Graph, opts pcpm.Options, replac
 	if err != nil {
 		return GraphInfo{}, err
 	}
+	// Write-ahead: the ingest must be durable before any reader can see
+	// it. A failed append rejects the ingest rather than serving state a
+	// restart would silently lose.
+	lsn, err := s.walAppendAdd(name, g, opts, replace)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	snap.WalLSN = lsn
 
 	s.mu.Lock()
 	if old, ok := s.graphs[name]; ok {
@@ -358,6 +402,18 @@ func (s *Server) addGraph(name string, g *graph.Graph, opts pcpm.Options, replac
 // Remove drops name from the registry. An in-flight recompute for it may
 // still finish, but its result becomes unreachable.
 func (s *Server) Remove(name string) error {
+	s.mu.RLock()
+	_, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	// Write-ahead, without holding the registry lock across an fsync. Two
+	// racing removals may both log a record; replay tolerates the
+	// duplicate (removing an absent graph is skipped).
+	if _, err := s.walAppend(wal.RecRemoveGraph, removeMeta{Name: name}, nil); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.graphs[name]; !ok {
@@ -581,9 +637,19 @@ func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 	old := e.snap.Load()
 	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts)
 	if err == nil {
-		e.snap.Store(snap)
-		s.log.Info("recompute done", "graph", e.name, "version", snap.Version,
-			"method", snap.Method, "iterations", snap.Iterations, "compute", snap.ComputeTime)
+		// Logged so a replayed registry tracks the options (method,
+		// damping, ...) the live daemon actually served with.
+		var lsn uint64
+		lsn, err = s.walAppend(wal.RecRecompute,
+			recomputeMeta{Name: e.name, Parent: old.WalLSN, Options: opts}, nil)
+		if err == nil {
+			snap.WalLSN = lsn
+			e.snap.Store(snap)
+			s.log.Info("recompute done", "graph", e.name, "version", snap.Version,
+				"method", snap.Method, "iterations", snap.Iterations, "compute", snap.ComputeTime)
+		} else {
+			s.log.Error("recompute not published: wal append failed", "graph", e.name, "error", err)
+		}
 	} else {
 		s.log.Error("recompute failed", "graph", e.name, "error", err)
 	}

@@ -1,0 +1,239 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// faultFile wraps a real segment file and simulates a crash after a byte
+// budget: once the budget is spent every call fails — including Truncate
+// and Sync, because a dead process performs no rollback. Whatever bytes
+// made it to the file before the "crash" stay there, exactly like a torn
+// append on a real disk.
+type faultFile struct {
+	f      *os.File
+	budget int64 // bytes still writable before the injected crash
+	dead   bool
+}
+
+var errInjected = errors.New("wal_test: injected fault")
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.dead {
+		return 0, errInjected
+	}
+	if int64(len(p)) > ff.budget {
+		n, _ := ff.f.Write(p[:ff.budget])
+		ff.budget = 0
+		ff.dead = true
+		return n, errInjected
+	}
+	n, err := ff.f.Write(p)
+	ff.budget -= int64(n)
+	return n, err
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.dead {
+		return errInjected
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if ff.dead {
+		return errInjected
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+// faultOpen returns an Options.open hook whose files die after budget
+// written bytes.
+func faultOpen(budget int64) func(path string) (walFile, error) {
+	return func(path string) (walFile, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &faultFile{f: f, budget: budget}, nil
+	}
+}
+
+// seedLog writes prefix records through a healthy store.
+func seedLog(t *testing.T, dir string, prefix int) {
+	t.Helper()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < prefix; i++ {
+		mustAppend(t, s, RecEdgeDelta, []byte{byte('a' + i)}, nil)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashPointSweep kills the log at every byte boundary of the final
+// record — budget b lets exactly b bytes of its frame reach the disk, then
+// the writer dies mid-call. Warm recovery must truncate the torn tail and
+// serve every previously acknowledged record; only the full frame (crash
+// after the write, before the ack) may survive as a record.
+func TestCrashPointSweep(t *testing.T) {
+	const prefix = 3
+	meta := []byte(`{"name":"g","insert":[[1,2],[3,4]]}`)
+	blob := []byte("payload-bytes")
+	frameLen := frameSize(len(meta), len(blob))
+
+	for b := int64(0); b <= frameLen; b++ {
+		dir := t.TempDir()
+		seedLog(t, dir, prefix)
+
+		s, err := Open(dir, Options{open: faultOpen(b)})
+		if err != nil {
+			t.Fatalf("budget %d: open: %v", b, err)
+		}
+		_, err = s.Append(RecEdgeDelta, meta, blob)
+		if b < frameLen {
+			if err == nil {
+				t.Fatalf("budget %d: append survived the injected crash", b)
+			}
+			// The crash also killed the rollback path, so the store must
+			// have declared itself broken rather than limping on.
+			if _, err := s.Append(RecEdgeDelta, []byte("x"), nil); err == nil {
+				t.Fatalf("budget %d: broken store accepted another append", b)
+			}
+		} else if err != nil {
+			// Exactly enough budget: the frame is fully durable, only the
+			// fsync "ack" died. Losing the ack is allowed; the bytes stay.
+			t.Logf("budget %d: full frame written, ack failed: %v", b, err)
+		}
+		s.Close()
+
+		re, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("budget %d: recovery open: %v", b, err)
+		}
+		recs := collect(t, re)
+		want := prefix
+		if b == frameLen {
+			want = prefix + 1 // unacknowledged but fully written → kept
+		}
+		if len(recs) != want {
+			t.Fatalf("budget %d: recovered %d records, want %d", b, len(recs), want)
+		}
+		for i := 0; i < prefix; i++ {
+			if recs[i].LSN != uint64(i+1) || string(recs[i].Meta) != string([]byte{byte('a' + i)}) {
+				t.Fatalf("budget %d: prefix record %d damaged: %+v", b, i, recs[i])
+			}
+		}
+		// Recovery truncated the tail, so the next append lands cleanly.
+		if _, err := re.Append(RecEdgeDelta, []byte("after"), nil); err != nil {
+			t.Fatalf("budget %d: post-recovery append: %v", b, err)
+		}
+		re.Close()
+	}
+}
+
+// errOnceFile fails the first write (leaving a partial frame) but stays
+// alive, so Append's in-process rollback can run.
+type errOnceFile struct {
+	f       *os.File
+	tripped bool
+	partial int64 // bytes of the failing write that still land
+}
+
+func (ef *errOnceFile) Write(p []byte) (int, error) {
+	if !ef.tripped {
+		ef.tripped = true
+		n, _ := ef.f.Write(p[:ef.partial])
+		return n, errInjected
+	}
+	return ef.f.Write(p)
+}
+func (ef *errOnceFile) Sync() error               { return ef.f.Sync() }
+func (ef *errOnceFile) Truncate(size int64) error { return ef.f.Truncate(size) }
+func (ef *errOnceFile) Close() error              { return ef.f.Close() }
+
+// TestAppendRollsBackFailedWrite: when a write fails but the process (and
+// file) survive, Append truncates the partial frame off the segment and the
+// store remains usable — the log never exposes the torn bytes to a reader.
+func TestAppendRollsBackFailedWrite(t *testing.T) {
+	dir := t.TempDir()
+	seedLog(t, dir, 2)
+
+	s, err := Open(dir, Options{open: func(path string) (walFile, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &errOnceFile{f: f, partial: 5}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(RecEdgeDelta, []byte("doomed"), nil); !errors.Is(err, errInjected) {
+		t.Fatalf("Append = %v, want the injected fault", err)
+	}
+	// Rollback succeeded: the same store accepts the retry and assigns the
+	// same LSN the failed attempt would have used.
+	lsn, err := s.Append(RecEdgeDelta, []byte("retry"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Fatalf("retry LSN = %d, want 3", lsn)
+	}
+	s.Close()
+
+	re := mustOpen(t, dir, Options{})
+	recs := collect(t, re)
+	if len(recs) != 3 || string(recs[2].Meta) != "retry" {
+		t.Fatalf("recovered %d records (last %q), want the clean retry", len(recs), recs[len(recs)-1].Meta)
+	}
+}
+
+// TestTornTailAtEveryTruncationPoint is the classic external variant of
+// the sweep: a healthy log is cut at every byte boundary of its final
+// record with plain file truncation (as a crashed kernel would leave it),
+// and recovery must serve the prefix every time.
+func TestTornTailAtEveryTruncationPoint(t *testing.T) {
+	const prefix = 2
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < prefix; i++ {
+		mustAppend(t, s, RecEdgeDelta, []byte{byte('a' + i)}, nil)
+	}
+	meta, blob := []byte(`{"final":true}`), []byte("blob")
+	mustAppend(t, s, RecEdgeDelta, meta, blob)
+	s.Close()
+
+	seg := segmentPaths(t, dir)[0]
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalStart := int64(len(raw)) - frameSize(len(meta), len(blob))
+
+	for cut := finalStart; cut < int64(len(raw)); cut++ {
+		sub := t.TempDir()
+		dst := sub + "/" + "0000000000000001.wal"
+		if err := os.WriteFile(dst, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(sub, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		recs := collect(t, re)
+		if len(recs) != prefix {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), prefix)
+		}
+		// The torn bytes must be gone from disk so appends don't stack a
+		// valid record on garbage.
+		if st, err := os.Stat(dst); err != nil || st.Size() != finalStart {
+			t.Fatalf("cut %d: segment size %d, want truncated to %d", cut, st.Size(), finalStart)
+		}
+		re.Close()
+	}
+}

@@ -1,0 +1,35 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("WAL_GEN_CORPUS") == "" {
+		t.Skip("corpus generator")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	marker := appendFrame(nil, 1, RecCheckpoint, []byte(`{"graphs":{}}`), nil)
+	seeds := map[string][]byte{
+		"seed_single_record":     fuzzSeedLog(1),
+		"seed_three_records":     fuzzSeedLog(1, 2, 3),
+		"seed_torn_header":       fuzzSeedLog(1, 2)[:11],
+		"seed_lying_length":      {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+		"seed_marker_then_delta": append(marker, fuzzSeedLog(2)...),
+	}
+	flipped := fuzzSeedLog(1, 2)
+	flipped[len(flipped)/2] ^= 0x20
+	seeds["seed_midlog_corruption"] = flipped
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
