@@ -76,6 +76,11 @@ func main() {
 			"durable data directory for the -self server; required for restart=N mix traffic (each restart op recovers the server from it)")
 		out = flag.String("o", "", "write the JSON report here (default stdout)")
 	)
+	var followers []string
+	flag.Func("follower", "replica base URL for follower_read mix traffic (repeatable)", func(v string) error {
+		followers = append(followers, v)
+		return nil
+	})
 	flag.Parse()
 
 	fail := func(err error) {
@@ -95,6 +100,7 @@ func main() {
 		Epsilon:     *epsilon,
 
 		RecomputeComponentwise: *compRec,
+		FollowerURLs:           followers,
 	}
 	if *mixSpec != "" {
 		mix, err := loadgen.ParseMix(*mixSpec)

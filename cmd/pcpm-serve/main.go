@@ -21,6 +21,13 @@
 // updates repair the published ranks incrementally (falling back to a full
 // engine run when a batch dirties too much rank mass) and are capped at
 // -max-delta-edges changes per request.
+//
+// With -follow the daemon runs as a read-only replica: it bootstraps from
+// the leader's snapshots, tails its WAL stream, serves every read endpoint
+// from its own copies, and answers writes with 503 + the leader's address:
+//
+//	pcpm-serve -addr :8081 -follow http://leader:8080
+//	curl 'localhost:8081/v1/repl/status'
 package main
 
 import (
@@ -62,6 +69,10 @@ func main() {
 			"WAL fsync policy with -data-dir: always (every append), never, or an interval like 100ms")
 		checkpointEvery = flag.Duration("checkpoint-every", 5*time.Minute,
 			"interval between snapshot checkpoints with -data-dir (0 disables periodic checkpoints; one is always taken on graceful shutdown)")
+		follow = flag.String("follow", "",
+			"run as a read-only follower of the leader at this base URL (e.g. http://leader:8080); incompatible with -data-dir and -graph")
+		followPoll = flag.Duration("follow-poll", 25*time.Second,
+			"long-poll window per WAL tail request in follower mode")
 		verbose = flag.Bool("v", false, "debug logging")
 	)
 	var preload []string
@@ -85,6 +96,18 @@ func main() {
 		logger.Error("bad -fsync", "error", err)
 		os.Exit(2)
 	}
+	if *follow != "" {
+		// A follower's state is exactly the leader's log; a local WAL or
+		// preloaded graphs would diverge from it.
+		if *dataDir != "" {
+			logger.Error("-follow is incompatible with -data-dir: a follower replicates the leader's log instead of keeping its own")
+			os.Exit(2)
+		}
+		if len(preload) > 0 {
+			logger.Error("-follow is incompatible with -graph: a follower's graphs come from the leader")
+			os.Exit(2)
+		}
+	}
 
 	srv := serve.New(serve.Config{
 		Defaults: pcpm.Options{
@@ -102,6 +125,8 @@ func main() {
 		MaxDeltaEdges:     *maxDelta,
 		DataDir:           *dataDir,
 		FsyncEvery:        fsyncEvery,
+		FollowAddr:        *follow,
+		FollowPollWait:    *followPoll,
 	})
 
 	// Warm recovery before preload and before accepting traffic: load the
@@ -163,6 +188,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	followDone := make(chan struct{})
+	if *follow != "" {
+		go func() {
+			defer close(followDone)
+			logger.Info("following", "leader", *follow)
+			if err := srv.Follow(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				logger.Error("follower loop failed", "error", err)
+			}
+		}()
+	} else {
+		close(followDone)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening", "addr", *addr, "graphs", srv.NumGraphs())
@@ -177,6 +215,8 @@ func main() {
 	}
 
 	logger.Info("shutting down")
+	stop() // cancels the follower loop's ctx
+	<-followDone
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

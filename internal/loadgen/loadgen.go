@@ -42,18 +42,19 @@ type OpKind string
 
 // The operation kinds of a mixed workload.
 const (
-	OpTopK      OpKind = "topk"
-	OpRank      OpKind = "rank"
-	OpPPR       OpKind = "ppr"
-	OpPPRBatch  OpKind = "ppr_batch"
-	OpMutate    OpKind = "mutate"
-	OpRecompute OpKind = "recompute"
-	OpUpload    OpKind = "upload"
-	OpRestart   OpKind = "restart"
+	OpTopK         OpKind = "topk"
+	OpRank         OpKind = "rank"
+	OpPPR          OpKind = "ppr"
+	OpPPRBatch     OpKind = "ppr_batch"
+	OpMutate       OpKind = "mutate"
+	OpRecompute    OpKind = "recompute"
+	OpUpload       OpKind = "upload"
+	OpRestart      OpKind = "restart"
+	OpFollowerRead OpKind = "follower_read"
 )
 
 // opKinds is the fixed aggregation order of reports.
-var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute, OpUpload, OpRestart}
+var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute, OpUpload, OpRestart, OpFollowerRead}
 
 // Mix holds the relative weights of each operation kind in the schedule.
 // Weights are proportions, not percentages; the zero value of a field
@@ -71,15 +72,21 @@ var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute,
 // RestartFn and composes with Mutate — a restart between a mutate op's
 // insert and delete halves recovers the inserted batch from the log, so
 // the delete stays valid.
+//
+// FollowerRead ops exercise a replicated deployment's read fan-out: each
+// draws a replica from Config.FollowerURLs (Zipf vertex, alternating
+// topk/rank) and issues the read there instead of at BaseURL, measuring
+// follower-served latency under the same schedule that mutates the leader.
 type Mix struct {
-	TopK      int `json:"topk"`
-	Rank      int `json:"rank"`
-	PPR       int `json:"ppr"`
-	PPRBatch  int `json:"ppr_batch"`
-	Mutate    int `json:"mutate"`
-	Recompute int `json:"recompute"`
-	Upload    int `json:"upload"`
-	Restart   int `json:"restart"`
+	TopK         int `json:"topk"`
+	Rank         int `json:"rank"`
+	PPR          int `json:"ppr"`
+	PPRBatch     int `json:"ppr_batch"`
+	Mutate       int `json:"mutate"`
+	Recompute    int `json:"recompute"`
+	Upload       int `json:"upload"`
+	Restart      int `json:"restart"`
+	FollowerRead int `json:"follower_read"`
 }
 
 // DefaultMix is a read-heavy serving profile: mostly cached global reads,
@@ -95,15 +102,17 @@ func DefaultMix() Mix {
 func ParseMix(spec string) (Mix, error) {
 	var m Mix
 	fields := map[string]*int{
-		string(OpTopK):      &m.TopK,
-		string(OpRank):      &m.Rank,
-		string(OpPPR):       &m.PPR,
-		string(OpPPRBatch):  &m.PPRBatch,
-		"batch":             &m.PPRBatch, // shorthand
-		string(OpMutate):    &m.Mutate,
-		string(OpRecompute): &m.Recompute,
-		string(OpUpload):    &m.Upload,
-		string(OpRestart):   &m.Restart,
+		string(OpTopK):         &m.TopK,
+		string(OpRank):         &m.Rank,
+		string(OpPPR):          &m.PPR,
+		string(OpPPRBatch):     &m.PPRBatch,
+		"batch":                &m.PPRBatch, // shorthand
+		string(OpMutate):       &m.Mutate,
+		string(OpRecompute):    &m.Recompute,
+		string(OpUpload):       &m.Upload,
+		string(OpRestart):      &m.Restart,
+		string(OpFollowerRead): &m.FollowerRead,
+		"follower":             &m.FollowerRead, // shorthand
 	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -145,6 +154,8 @@ func (m Mix) weight(k OpKind) int {
 		return m.Upload
 	case OpRestart:
 		return m.Restart
+	case OpFollowerRead:
+		return m.FollowerRead
 	}
 	return 0
 }
@@ -185,6 +196,9 @@ type Config struct {
 	// UploadBody is the graph payload re-uploaded (replace=true) by upload
 	// operations; nil disables them.
 	UploadBody []byte
+	// FollowerURLs lists replica base URLs for follower_read operations
+	// (e.g. "http://127.0.0.1:8081"); empty disables them.
+	FollowerURLs []string
 	// RestartFn restarts the target server for restart operations and
 	// returns once it serves again (e.g. kill the process, relaunch it with
 	// the same -data-dir, poll /healthz). Restarts run exclusively: the
@@ -237,6 +251,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.RestartFn == nil {
 		cfg.Mix.Restart = 0
 	}
+	if len(cfg.FollowerURLs) == 0 {
+		cfg.Mix.FollowerRead = 0
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
 	}
@@ -255,6 +272,10 @@ type Op struct {
 	// inserts them, then deletes the same batch, exercising both delta
 	// paths while leaving the graph's edge count unchanged over the replay.
 	Edges [][2]uint32
+	// Follower indexes Config.FollowerURLs and Read picks the read shape
+	// (OpTopK or OpRank) of a follower_read operation.
+	Follower int
+	Read     OpKind
 }
 
 // Schedule derives the deterministic operation sequence for cfg. Exported
@@ -312,6 +333,14 @@ func Schedule(cfg Config) ([]Op, error) {
 			op.Edges = make([][2]uint32, 1+rng.Intn(4))
 			for j := range op.Edges {
 				op.Edges[j] = [2]uint32{uint32(zipf.Uint64()), uint32(zipf.Uint64())}
+			}
+		case OpFollowerRead:
+			op.Follower = rng.Intn(len(cfg.FollowerURLs))
+			if rng.Intn(2) == 0 {
+				op.Read = OpTopK
+			} else {
+				op.Read = OpRank
+				op.Node = uint32(zipf.Uint64())
 			}
 		}
 		ops[i] = op
@@ -577,6 +606,12 @@ func (c *client) do(op Op) error {
 	case OpUpload:
 		return c.post(fmt.Sprintf("%s/v1/graphs?name=%s&replace=true", c.cfg.BaseURL, g),
 			"application/octet-stream", c.cfg.UploadBody)
+	case OpFollowerRead:
+		base := c.cfg.FollowerURLs[op.Follower]
+		if op.Read == OpRank {
+			return c.get(fmt.Sprintf("%s/v1/graphs/%s/rank/%d", base, g, op.Node))
+		}
+		return c.get(fmt.Sprintf("%s/v1/graphs/%s/topk?k=%d", base, g, c.cfg.K))
 	}
 	return fmt.Errorf("loadgen: unknown op kind %q", op.Kind)
 }

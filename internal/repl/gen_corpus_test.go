@@ -1,0 +1,38 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenCorpus materializes the FuzzReplStream seed corpus into
+// testdata/fuzz so CI's fuzz smoke starts from the interesting shapes
+// without a warm-up. Run with REPL_GEN_CORPUS=1 to regenerate.
+func TestGenCorpus(t *testing.T) {
+	if os.Getenv("REPL_GEN_CORPUS") == "" {
+		t.Skip("corpus generator")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReplStream")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[string][]byte{
+		"seed_three_records": fuzzSeedStream(1, 2, 3),
+		"seed_torn_header":   fuzzSeedStream(1, 2)[:11],
+		"seed_torn_payload":  fuzzSeedStream(1, 2)[:40],
+		"seed_lying_length":  {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
+		"seed_stale_replay":  fuzzSeedStream(1, 1),
+		"seed_lsn_gap":       fuzzSeedStream(1, 2, 9),
+	}
+	flipped := fuzzSeedStream(1, 2)
+	flipped[len(flipped)/2] ^= 0x20
+	seeds["seed_midstream_bitflip"] = flipped
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

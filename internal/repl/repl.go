@@ -1,0 +1,114 @@
+// Package repl is the leader/follower replication protocol of the
+// rank-serving daemon. The wire format is the WAL's own frame encoding
+// (length + CRC32-C + payload, see internal/wal) streamed over HTTP:
+//
+//   - GET /v1/wal?from=<lsn> on the leader long-polls the log tail and
+//     streams every durable record at or past the cursor. 204 means the
+//     cursor is at the head (nothing new within the wait window); 410 Gone
+//     means a checkpoint pruned the cursor and the follower must
+//     re-bootstrap. Every response carries X-Repl-Next-LSN, the leader's
+//     next append position, which is what followers measure lag against.
+//   - GET /v1/repl/bootstrap streams one synthetic RecAddGraph frame per
+//     registered graph (blob = the graph's published snapshot, LSN = the
+//     snapshot's covered position) terminated by a RecCheckpoint frame
+//     whose metadata carries the tail cursor to resume from.
+//
+// The decoder applies the WAL's crash discipline to the wire: a stream
+// that ends mid-frame is torn (ErrTorn — the transport died; resume from
+// the cursor), while a frame that fails its checksum, carries an insane
+// length, or breaks LSN continuity is corruption (*wal.CorruptionError —
+// fail closed and re-bootstrap, never apply a suspect record).
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/wal"
+)
+
+// ErrTorn reports a stream that ended partway through a frame: the
+// transport (or the leader) went away mid-record. Records decoded before
+// the tear are intact; the follower resumes tailing from its cursor.
+var ErrTorn = errors.New("repl: stream torn mid-frame")
+
+// ErrPruned reports a tail cursor that predates the leader's oldest
+// retained record; the follower must re-bootstrap from snapshots.
+var ErrPruned = errors.New("repl: cursor pruned on leader")
+
+// BootstrapEnd is the metadata document of the RecCheckpoint frame that
+// terminates a bootstrap stream.
+type BootstrapEnd struct {
+	// From is the tail cursor the follower resumes from: the leader's
+	// oldest retained LSN at the moment the bootstrap cut was taken. Any
+	// record at or past it that is already reflected in a shipped snapshot
+	// is skipped by the follower's covered-LSN check, exactly as in warm
+	// recovery.
+	From uint64 `json:"from"`
+}
+
+// Decoder reads WAL frames from a replication stream.
+type Decoder struct {
+	r    *bufio.Reader
+	want uint64 // next expected LSN; 0 disables the continuity check
+	off  int64
+}
+
+// NewDecoder wraps r. A non-zero from arms the LSN continuity check: the
+// first record must carry exactly that sequence number and successors must
+// increment by one (tail streams). Bootstrap streams pass 0 — their frames
+// carry unrelated per-graph positions.
+func NewDecoder(r io.Reader, from uint64) *Decoder {
+	return &Decoder{r: bufio.NewReaderSize(r, 1<<16), want: from}
+}
+
+// Offset returns the number of stream bytes consumed by complete frames.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// Next decodes one frame. It returns io.EOF at a clean end-of-stream
+// (between frames), ErrTorn when the stream dies mid-frame, and a
+// *wal.CorruptionError for a frame that must not be trusted.
+func (d *Decoder) Next() (*wal.Record, error) {
+	var hdr [wal.FrameHeaderLen]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w (header at offset %d)", ErrTorn, d.off)
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[0:]))
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if plen < wal.MinPayloadLen || plen > wal.MaxRecordBytes {
+		// On disk an insane length at EOF can be a torn tail; on the wire
+		// the header arrived whole, so a lying length is always corruption.
+		return nil, &wal.CorruptionError{Offset: d.off,
+			Reason: fmt.Sprintf("payload length %d outside [%d, %d]", plen, wal.MinPayloadLen, wal.MaxRecordBytes)}
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return nil, fmt.Errorf("%w (payload at offset %d)", ErrTorn, d.off)
+	}
+	rec, err := wal.DecodePayload(payload, wantCRC)
+	if err != nil {
+		var cerr *wal.CorruptionError
+		if errors.As(err, &cerr) {
+			cerr.Offset = d.off
+		}
+		return nil, err
+	}
+	if d.want != 0 {
+		if rec.LSN != d.want {
+			// A stale or repeated LSN is replay/reordering on the wire;
+			// applying it would fork the follower, so it is corruption.
+			return nil, &wal.CorruptionError{Offset: d.off,
+				Reason: fmt.Sprintf("LSN %d, want %d", rec.LSN, d.want)}
+		}
+		d.want = rec.LSN + 1
+	}
+	rec.Offset = d.off
+	d.off += int64(wal.FrameHeaderLen) + plen
+	return rec, nil
+}

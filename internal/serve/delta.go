@@ -252,9 +252,19 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 	}
 	// Write-ahead: the batch becomes durable before its snapshot becomes
 	// visible. Parent links the record to the snapshot it mutated so
-	// replay can skip a delta that published into an orphaned entry.
+	// replay can skip a delta that published into an orphaned entry. An
+	// incremental repair is deterministic and cheap, so replay and
+	// followers redo it from the edge lists alone; a fallback ran the
+	// engine, so its snapshot ships in the blob and is installed as-is.
+	var blob []byte
+	if fellBack && s.wal != nil && !s.replaying {
+		if blob, err = snapshotBlob(e.name, ns); err != nil {
+			return DeltaStatus{}, err
+		}
+	}
 	lsn, err := s.walAppend(wal.RecEdgeDelta,
-		deltaMeta{Name: e.name, Parent: snap.WalLSN, Insert: d.Insert, Delete: d.Delete}, nil)
+		deltaMeta{Name: e.name, Parent: snap.WalLSN, Insert: d.Insert, Delete: d.Delete,
+			FellBack: fellBack, Reason: reason}, blob)
 	if err != nil {
 		return DeltaStatus{}, err
 	}

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 	"time"
 
 	pcpm "repro"
@@ -35,7 +38,11 @@ import (
 // truncated by wal.Open; any other damage failed the open before replay
 // started.
 
-// addMeta is the RecAddGraph payload; the graph itself rides in the blob.
+// addMeta is the RecAddGraph payload; the blob carries the published
+// snapshot (graph + ranks + snapMeta), so replay and followers install the
+// leader's computed state instead of re-running the engine. Records written
+// before this format carried a bare binary graph; replay sniffs the blob
+// and recomputes for those.
 type addMeta struct {
 	Name    string       `json:"name"`
 	Replace bool         `json:"replace"`
@@ -52,15 +59,28 @@ type deltaMeta struct {
 	Parent uint64       `json:"parent"`
 	Insert []graph.Edge `json:"insert,omitempty"`
 	Delete []graph.Edge `json:"delete,omitempty"`
+	// FellBack records the live daemon's repair-vs-recompute decision. An
+	// incremental repair is deterministic, so replay and followers re-apply
+	// it locally; a fallback ran the engine, so the resulting snapshot rides
+	// in the blob and is installed as-is — the engine runs once, on the
+	// leader. Reason explains the fallback (replay counts drift-budget
+	// fallbacks from it).
+	FellBack bool   `json:"fell_back,omitempty"`
+	Reason   string `json:"reason,omitempty"`
 }
 
-// recomputeMeta is the RecRecompute payload: the resolved options of an
-// engine re-run, so replayed option state (damping, method, ...) tracks
-// what the live daemon actually served.
+// recomputeMeta is the RecRecompute payload: the resolved options and
+// result shape of an engine re-run. The recomputed rank vector rides in
+// the record's blob (float32 little-endian), so replay and followers
+// republish the leader's vector instead of re-running the engine. Records
+// written before the blob existed are replayed with a local engine run.
 type recomputeMeta struct {
-	Name    string       `json:"name"`
-	Parent  uint64       `json:"parent"`
-	Options pcpm.Options `json:"options"`
+	Name       string       `json:"name"`
+	Parent     uint64       `json:"parent"`
+	Options    pcpm.Options `json:"options"`
+	Method     pcpm.Method  `json:"method,omitempty"`
+	Iterations int          `json:"iterations,omitempty"`
+	Delta      float64      `json:"delta,omitempty"`
 }
 
 // removeMeta is the RecRemoveGraph payload.
@@ -81,6 +101,78 @@ type snapMeta struct {
 	Delta      float64      `json:"delta"`
 	Drift      float64      `json:"drift"`
 	ComputedAt time.Time    `json:"computed_at"`
+}
+
+func snapMetaOf(name string, snap *Snapshot) snapMeta {
+	return snapMeta{
+		Name:       name,
+		LSN:        snap.WalLSN,
+		Version:    snap.Version,
+		Options:    snap.Options,
+		Method:     snap.Method,
+		Iterations: snap.Iterations,
+		Delta:      snap.Delta,
+		Drift:      snap.RepairDrift,
+		ComputedAt: snap.ComputedAt,
+	}
+}
+
+// snapshotBlob serializes snap (graph + ranks + snapMeta) with the
+// internal/graph snapshot framing: the payload of v2 RecAddGraph records,
+// fallback RecEdgeDelta records, and bootstrap frames.
+func snapshotBlob(name string, snap *Snapshot) ([]byte, error) {
+	mb, err := json.Marshal(snapMetaOf(name, snap))
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot meta: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteSnapshot(&buf, &graph.Snapshot{Graph: snap.Graph, Ranks: snap.Ranks, Meta: mb}); err != nil {
+		return nil, fmt.Errorf("serve: snapshot blob: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSnapshotBlob parses a snapshotBlob payload.
+func decodeSnapshotBlob(blob []byte) (*graph.Snapshot, snapMeta, error) {
+	gs, err := graph.ReadSnapshot(bytes.NewReader(blob))
+	if err != nil {
+		return nil, snapMeta{}, err
+	}
+	var m snapMeta
+	if err := json.Unmarshal(gs.Meta, &m); err != nil {
+		return nil, snapMeta{}, fmt.Errorf("snapshot blob metadata: %w", err)
+	}
+	return gs, m, nil
+}
+
+// encodeRanks serializes a rank vector as float32 little-endian: the blob
+// of v2 RecRecompute records.
+func encodeRanks(ranks []float32) []byte {
+	out := make([]byte, 0, 4*len(ranks))
+	for _, r := range ranks {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(r))
+	}
+	return out
+}
+
+// recomputeBlob encodes snap's rank vector for a RecRecompute record,
+// skipping the work when no record will be written.
+func (s *Server) recomputeBlob(snap *Snapshot) []byte {
+	if s.wal == nil || s.replaying {
+		return nil
+	}
+	return encodeRanks(snap.Ranks)
+}
+
+func decodeRanks(blob []byte) ([]float32, error) {
+	if len(blob)%4 != 0 {
+		return nil, fmt.Errorf("rank blob of %d bytes is not a float32 array", len(blob))
+	}
+	out := make([]float32, len(blob)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(blob[4*i:]))
+	}
+	return out, nil
 }
 
 // walAppend serializes meta and appends one record, unless durability is
@@ -105,18 +197,88 @@ func (s *Server) walAppend(typ wal.RecordType, meta any, blob []byte) (uint64, e
 	return lsn, nil
 }
 
-func (s *Server) walAppendAdd(name string, g *graph.Graph, opts pcpm.Options, replace bool) (uint64, error) {
+// walAppendAdd logs one ingest. The blob is the just-computed snapshot, so
+// replay and followers install the ranks instead of re-running the engine.
+// The snapshot's final Version (a replace continues the old sequence) is
+// only known at publish time, after this append; installers re-derive it,
+// so the version inside the blob is advisory.
+func (s *Server) walAppendAdd(name string, snap *Snapshot, replace bool) (uint64, error) {
 	if s.replaying {
 		return s.replayLSN, nil
 	}
 	if s.wal == nil {
 		return 0, nil
 	}
-	var blob bytes.Buffer
-	if err := graph.WriteBinary(&blob, g); err != nil {
-		return 0, fmt.Errorf("serve: wal graph blob: %w", err)
+	blob, err := snapshotBlob(name, snap)
+	if err != nil {
+		return 0, err
 	}
-	return s.walAppend(wal.RecAddGraph, addMeta{Name: name, Replace: replace, Options: opts}, blob.Bytes())
+	return s.walAppend(wal.RecAddGraph, addMeta{Name: name, Replace: replace, Options: snap.Options}, blob)
+}
+
+// installSnapshot publishes a deserialized snapshot into the registry:
+// recovery phase 1, replayed v2 ingests, fallback deltas, and follower
+// bootstrap all land here. The LSN comes from the caller (the record or
+// snapshot position being installed), not from m — the blob was written
+// before its append was assigned one. Versions never go backwards: an
+// install over an existing entry continues its sequence, matching what the
+// live replace published. Only the single-threaded recovery/follower apply
+// goroutine calls this, but readers may be live, so publication order
+// matters: a fresh entry gets its snapshot before it is visible in the map.
+func (s *Server) installSnapshot(name string, gs *graph.Snapshot, m snapMeta, lsn uint64) *Snapshot {
+	stats, dec := graphStats(gs.Graph)
+	snap := &Snapshot{
+		Graph:       gs.Graph,
+		Stats:       stats,
+		SCC:         dec,
+		Ranks:       gs.Ranks,
+		Options:     m.Options,
+		Method:      m.Method,
+		Iterations:  m.Iterations,
+		Delta:       m.Delta,
+		Version:     m.Version,
+		RepairDrift: m.Drift,
+		WalLSN:      lsn,
+		ComputedAt:  m.ComputedAt,
+	}
+	snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+
+	s.mu.Lock()
+	e, ok := s.graphs[name]
+	if !ok {
+		e = &entry{
+			name:    name,
+			ppr:     newPPRCache(s.cfg.PPRCacheSize),
+			pprWait: make(map[string]*pprInflight),
+		}
+		e.version.Store(snap.Version)
+		e.snap.Store(snap)
+		s.graphs[name] = e
+		s.mu.Unlock()
+		return snap
+	}
+	s.mu.Unlock()
+	if v := e.version.Load(); snap.Version <= v {
+		if old := e.snap.Load(); old != nil && old.WalLSN == lsn {
+			// Same log position, same deterministic state: a follower
+			// re-bootstrap re-installing what it already has must keep the
+			// leader's version sequence, not outrun it.
+			snap.Version = v
+		} else {
+			snap.Version = v + 1
+		}
+	}
+	e.version.Store(snap.Version)
+	e.snap.Store(snap)
+	e.mu.Lock()
+	// The structure was replaced wholesale: everything shaped on the old
+	// one is stale.
+	e.structVersion++
+	e.ppr = newPPRCache(s.cfg.PPRCacheSize)
+	e.pool.invalidate()
+	e.repairEng = nil
+	e.mu.Unlock()
+	return snap
 }
 
 // RecoveryReport summarizes one Recover call.
@@ -170,32 +332,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 			st.Close()
 			return nil, fmt.Errorf("serve: snapshot file for %q names graph %q", gs.Name, m.Name)
 		}
-		e := &entry{
-			name:    gs.Name,
-			ppr:     newPPRCache(s.cfg.PPRCacheSize),
-			pprWait: make(map[string]*pprInflight),
-		}
-		stats, dec := graphStats(gs.Snap.Graph)
-		snap := &Snapshot{
-			Graph:       gs.Snap.Graph,
-			Stats:       stats,
-			SCC:         dec,
-			Ranks:       gs.Snap.Ranks,
-			Options:     m.Options,
-			Method:      m.Method,
-			Iterations:  m.Iterations,
-			Delta:       m.Delta,
-			Version:     m.Version,
-			RepairDrift: m.Drift,
-			WalLSN:      m.LSN,
-			ComputedAt:  m.ComputedAt,
-		}
-		snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
-		e.version.Store(m.Version)
-		e.snap.Store(snap)
-		s.mu.Lock()
-		s.graphs[gs.Name] = e
-		s.mu.Unlock()
+		s.installSnapshot(gs.Name, gs.Snap, m, m.LSN)
 		covered[gs.Name] = m.LSN
 		maxLSN = max(maxLSN, m.LSN)
 		rep.Snapshots++
@@ -247,14 +384,24 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 		if rec.LSN <= covered[m.Name] {
 			return skip()
 		}
-		g, err := graph.ReadBinary(bytes.NewReader(rec.Blob))
-		if err != nil {
-			return fail(err)
-		}
 		// Replace unconditionally: whatever state the name is in, the live
 		// daemon acknowledged this ingest, so it must win here too.
-		if _, err := s.addGraph(m.Name, g, m.Options, true); err != nil {
-			return fail(err)
+		if graph.IsSnapshotHeader(rec.Blob) {
+			gs, sm, err := decodeSnapshotBlob(rec.Blob)
+			if err != nil {
+				return fail(err)
+			}
+			s.installSnapshot(m.Name, gs, sm, rec.LSN)
+		} else {
+			// Pre-v2 record: a bare binary graph, no shipped ranks — the
+			// engine has to run here.
+			g, err := graph.ReadBinary(bytes.NewReader(rec.Blob))
+			if err != nil {
+				return fail(err)
+			}
+			if _, err := s.addGraph(m.Name, g, m.Options, true); err != nil {
+				return fail(err)
+			}
 		}
 
 	case wal.RecEdgeDelta:
@@ -269,7 +416,19 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 		if err != nil || e.snap.Load().WalLSN != m.Parent {
 			return skip() // published into an entry a replace/remove orphaned
 		}
-		if _, err := s.ApplyEdgeDelta(m.Name, delta.EdgeDelta{Insert: m.Insert, Delete: m.Delete}); err != nil {
+		if m.FellBack && len(rec.Blob) > 0 {
+			// The live daemon's repair fell back to an engine run; its result
+			// rides in the blob. Install it instead of re-running — the
+			// recompute happened once, on the (then-live) leader.
+			gs, sm, err := decodeSnapshotBlob(rec.Blob)
+			if err != nil {
+				return fail(err)
+			}
+			s.installSnapshot(m.Name, gs, sm, rec.LSN)
+			if strings.Contains(m.Reason, "repair drift") {
+				s.replayDriftRecomputes++
+			}
+		} else if _, err := s.ApplyEdgeDelta(m.Name, delta.EdgeDelta{Insert: m.Insert, Delete: m.Delete}); err != nil {
 			return fail(err)
 		}
 
@@ -285,7 +444,12 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 		if err != nil || e.snap.Load().WalLSN != m.Parent {
 			return skip()
 		}
-		if err := s.replayRecompute(e, m.Options); err != nil {
+		if len(rec.Blob) > 0 {
+			if err := s.republishRanks(e, rec.Blob, m); err != nil {
+				return fail(err)
+			}
+		} else if err := s.replayRecompute(e, m.Options); err != nil {
+			// Pre-v2 record without a shipped vector: run the engine.
 			return fail(err)
 		}
 
@@ -305,6 +469,38 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 		return fail(errors.New("unknown record type"))
 	}
 	rep.Replayed++
+	return nil
+}
+
+// republishRanks installs a shipped recompute result (v2 RecRecompute
+// blob): same graph, the leader's rank vector, no engine run.
+func (s *Server) republishRanks(e *entry, blob []byte, m recomputeMeta) error {
+	old := e.snap.Load()
+	ranks, err := decodeRanks(blob)
+	if err != nil {
+		return err
+	}
+	if len(ranks) != len(old.Ranks) {
+		return fmt.Errorf("shipped rank vector has %d entries, graph has %d", len(ranks), len(old.Ranks))
+	}
+	snap := &Snapshot{
+		Graph:      old.Graph,
+		Stats:      old.Stats,
+		SCC:        old.SCC,
+		Ranks:      ranks,
+		Options:    m.Options,
+		Method:     m.Method,
+		Iterations: m.Iterations,
+		Delta:      m.Delta,
+		Version:    e.version.Add(1),
+		WalLSN:     s.replayLSN,
+		ComputedAt: time.Now(),
+	}
+	snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+	e.snap.Store(snap)
+	e.mu.Lock()
+	e.pool.invalidate()
+	e.mu.Unlock()
 	return nil
 }
 
@@ -343,17 +539,7 @@ func (s *Server) Checkpoint() error {
 	ces := make([]wal.CheckpointEntry, 0, len(entries))
 	for _, e := range entries {
 		snap := e.snap.Load()
-		mb, err := json.Marshal(snapMeta{
-			Name:       e.name,
-			LSN:        snap.WalLSN,
-			Version:    snap.Version,
-			Options:    snap.Options,
-			Method:     snap.Method,
-			Iterations: snap.Iterations,
-			Delta:      snap.Delta,
-			Drift:      snap.RepairDrift,
-			ComputedAt: snap.ComputedAt,
-		})
+		mb, err := json.Marshal(snapMetaOf(e.name, snap))
 		if err != nil {
 			return fmt.Errorf("serve: snapshot meta: %w", err)
 		}

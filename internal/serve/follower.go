@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/wal"
+)
+
+// A follower is continuous recovery: it bootstraps from the leader's
+// published snapshots exactly as Recover seeds itself from persisted ones,
+// then tails the leader's WAL stream and pushes every record through the
+// same replayRecord path — covered-LSN skips, parent-LSN orphan checks,
+// drift re-accumulation and all. The wire decoder keeps the WAL's crash
+// discipline: a torn stream resumes from the cursor, while corruption (or
+// a pruned cursor) throws the registry away and re-bootstraps — a follower
+// never serves from a state it cannot prove it reached record by record.
+//
+// Follower lifecycle: bootstrapping → catchup → steady. Steady is entered
+// the first time a tail round ends with the cursor at the leader's head;
+// a reconnect keeps the state (the LSN sequence survives a leader
+// restart), a re-bootstrap resets it.
+
+// Follower states reported by ReplStatus.
+const (
+	FollowStateBootstrapping = "bootstrapping"
+	FollowStateCatchup       = "catchup"
+	FollowStateSteady        = "steady"
+)
+
+const (
+	defaultFollowPollWait = 25 * time.Second
+	defaultFollowBackoff  = 200 * time.Millisecond
+	maxFollowBackoff      = 5 * time.Second
+)
+
+// errApplyFailed wraps a replayRecord failure on a tailed record. It is
+// corruption-class: retrying the same record would fail the same way, so
+// the follower re-bootstraps instead of spinning.
+var errApplyFailed = errors.New("serve: applying replicated record failed")
+
+// followerState is the mutable side of a follower Server. The apply
+// goroutine (Follow) owns the registry; status fields are atomics so the
+// HTTP status endpoint and tests can observe progress without locks.
+type followerState struct {
+	client repl.Client
+
+	state      atomic.Value // string: one of the FollowState constants
+	applied    atomic.Uint64
+	leaderNext atomic.Uint64
+	records    atomic.Uint64
+	skipped    atomic.Uint64
+	bootstraps atomic.Uint64
+	tornResume atomic.Uint64
+	corrupt    atomic.Uint64
+	reconnects atomic.Uint64
+	lastErr    atomic.Value // string
+
+	// Test hooks, set before Follow starts. applyHook runs before each
+	// tailed record is applied (an error aborts the round as an apply
+	// failure); pollGate runs before each tail request.
+	applyHook func(*wal.Record) error
+	pollGate  func()
+}
+
+func newFollowerState(cfg Config) *followerState {
+	fs := &followerState{
+		client: repl.Client{
+			Base:     cfg.FollowAddr,
+			PollWait: cfg.FollowPollWait,
+		},
+	}
+	if fs.client.PollWait <= 0 {
+		fs.client.PollWait = defaultFollowPollWait
+	}
+	fs.state.Store(FollowStateBootstrapping)
+	fs.lastErr.Store("")
+	return fs
+}
+
+func (fs *followerState) setErr(err error) {
+	if err != nil {
+		fs.lastErr.Store(err.Error())
+	}
+}
+
+// Follow runs the follower loop — bootstrap, catch up, steady tail,
+// re-bootstrap on prune or corruption — until ctx is canceled. It must be
+// the only mutator of the server: the HTTP layer already rejects writes
+// when Config.FollowAddr is set, and direct API mutations on a follower
+// are a caller bug.
+func (s *Server) Follow(ctx context.Context) error {
+	if s.cfg.FollowAddr == "" {
+		return errors.New("serve: Follow requires Config.FollowAddr")
+	}
+	if s.cfg.DataDir != "" || s.wal != nil {
+		return errors.New("serve: a follower cannot be durable itself (FollowAddr with DataDir)")
+	}
+	fs := s.follower
+
+	// The apply paths run in replay mode for the loop's lifetime: applied
+	// records keep their leader-assigned LSNs, replayed deltas bypass the
+	// request-size cap, and nothing is written to a (nonexistent) local WAL.
+	s.replaying = true
+	defer func() { s.replaying = false; s.replayLSN = 0 }()
+
+	backoff := s.cfg.FollowBackoff
+	if backoff <= 0 {
+		backoff = defaultFollowBackoff
+	}
+	delay := backoff
+	// sleep waits out the current backoff (doubling it for next time) and
+	// reports whether the loop should continue.
+	sleep := func() bool {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		delay = min(2*delay, maxFollowBackoff)
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+
+	for ctx.Err() == nil {
+		fs.state.Store(FollowStateBootstrapping)
+		covered, cursor, err := s.followBootstrap(ctx)
+		if err != nil {
+			fs.setErr(err)
+			s.log.Warn("follower bootstrap failed", "leader", s.cfg.FollowAddr, "error", err)
+			if !sleep() {
+				break
+			}
+			continue
+		}
+		fs.bootstraps.Add(1)
+		fs.applied.Store(cursor - 1)
+		fs.state.Store(FollowStateCatchup)
+		delay = backoff
+		s.log.Info("follower bootstrapped", "leader", s.cfg.FollowAddr,
+			"graphs", s.NumGraphs(), "from", cursor)
+
+		rep := &RecoveryReport{}
+	tail:
+		for ctx.Err() == nil {
+			if fs.pollGate != nil {
+				fs.pollGate()
+			}
+			res, err := fs.client.Tail(ctx, cursor, func(rec *wal.Record) error {
+				if fs.applyHook != nil {
+					if herr := fs.applyHook(rec); herr != nil {
+						return fmt.Errorf("%w: %v", errApplyFailed, herr)
+					}
+				}
+				before := rep.Replayed
+				if aerr := s.replayRecord(rec, covered, rep); aerr != nil {
+					return fmt.Errorf("%w: %v", errApplyFailed, aerr)
+				}
+				cursor = rec.LSN + 1
+				fs.applied.Store(rec.LSN)
+				if rep.Replayed > before {
+					fs.records.Add(1)
+				} else {
+					fs.skipped.Add(1)
+				}
+				return nil
+			})
+			if res.LeaderNext > 0 {
+				fs.leaderNext.Store(res.LeaderNext)
+			}
+			cursor = max(cursor, res.Next)
+			switch {
+			case ctx.Err() != nil:
+				break tail
+			case err == nil:
+				delay = backoff
+				fs.lastErr.Store("")
+				if res.CaughtUp {
+					fs.state.Store(FollowStateSteady)
+				}
+			case errors.Is(err, repl.ErrPruned):
+				// The leader checkpointed past our cursor; only its
+				// snapshots can carry us forward.
+				fs.setErr(err)
+				s.log.Info("follower cursor pruned; re-bootstrapping", "cursor", cursor)
+				break tail
+			case errors.Is(err, errApplyFailed), isCorruption(err):
+				fs.corrupt.Add(1)
+				fs.setErr(err)
+				s.log.Warn("follower stream corrupt; re-bootstrapping", "cursor", cursor, "error", err)
+				sleep() // pace re-bootstraps; a canceled ctx exits the outer loop
+				break tail
+			case errors.Is(err, repl.ErrTorn):
+				// The transport died mid-frame; everything before the tear
+				// was applied, so resume from the advanced cursor.
+				fs.tornResume.Add(1)
+				fs.setErr(err)
+				if !sleep() {
+					break tail
+				}
+			default:
+				// Transport-level failure (leader down, connection refused).
+				// LSNs survive a leader restart, so keep the cursor and
+				// retry rather than re-bootstrapping.
+				fs.reconnects.Add(1)
+				fs.setErr(err)
+				if !sleep() {
+					break tail
+				}
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// followBootstrap downloads the leader's bootstrap stream and installs it,
+// replacing the local registry wholesale: snapshots are installed through
+// the shared installSnapshot path, and graphs the leader no longer has are
+// dropped. It returns the covered-LSN map (for replayRecord's skip check)
+// and the tail cursor.
+func (s *Server) followBootstrap(ctx context.Context) (map[string]uint64, uint64, error) {
+	b, err := s.follower.client.FetchBootstrap(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	covered := make(map[string]uint64, len(b.Records))
+	for _, rec := range b.Records {
+		var m addMeta
+		if err := json.Unmarshal(rec.Meta, &m); err != nil {
+			return nil, 0, fmt.Errorf("serve: bootstrap record %d metadata: %w", rec.LSN, err)
+		}
+		gs, sm, err := decodeSnapshotBlob(rec.Blob)
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: bootstrap snapshot %q: %w", m.Name, err)
+		}
+		if sm.Name != m.Name {
+			return nil, 0, fmt.Errorf("serve: bootstrap record for %q carries snapshot of %q", m.Name, sm.Name)
+		}
+		s.installSnapshot(m.Name, gs, sm, rec.LSN)
+		covered[m.Name] = rec.LSN
+	}
+	s.mu.Lock()
+	for name := range s.graphs {
+		if _, ok := covered[name]; !ok {
+			delete(s.graphs, name)
+		}
+	}
+	s.mu.Unlock()
+	if b.From == 0 {
+		return nil, 0, errors.New("serve: bootstrap stream carries no tail cursor")
+	}
+	return covered, b.From, nil
+}
+
+func isCorruption(err error) bool {
+	var cerr *wal.CorruptionError
+	return errors.As(err, &cerr)
+}
+
+// ReplStatus is the replication role and progress of a server, served at
+// GET /v1/repl/status.
+type ReplStatus struct {
+	// Role is "leader" (durable, streams its WAL), "follower" (tails a
+	// leader), or "standalone" (memory-only, no replication).
+	Role   string `json:"role"`
+	Leader string `json:"leader,omitempty"`
+	// State is the follower lifecycle state (bootstrapping|catchup|steady).
+	State string `json:"state,omitempty"`
+	// AppliedLSN is the last record position the follower has applied (or
+	// observed covered); LeaderNextLSN is the leader's next append position
+	// as of the last poll, and Lag the distance between them.
+	AppliedLSN    uint64 `json:"applied_lsn,omitempty"`
+	LeaderNextLSN uint64 `json:"leader_next_lsn,omitempty"`
+	Lag           int64  `json:"lag"`
+	// Records and Skipped count tailed records applied vs. passed over
+	// (snapshot-covered or orphaned, as in recovery).
+	Records uint64 `json:"records_applied,omitempty"`
+	Skipped uint64 `json:"records_skipped,omitempty"`
+	// Bootstraps counts snapshot bootstraps (1 after a clean start; more
+	// after prune- or corruption-forced re-bootstraps). TornResumes,
+	// Corruptions, and Reconnects count the respective stream failures.
+	Bootstraps  uint64 `json:"bootstraps,omitempty"`
+	TornResumes uint64 `json:"torn_resumes,omitempty"`
+	Corruptions uint64 `json:"corruptions,omitempty"`
+	Reconnects  uint64 `json:"reconnects,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	// NextLSN and OldestLSN describe a leader's log window: followers
+	// tailing inside [OldestLSN, NextLSN) stream records, below it they
+	// must re-bootstrap.
+	NextLSN   uint64 `json:"next_lsn,omitempty"`
+	OldestLSN uint64 `json:"oldest_lsn,omitempty"`
+}
+
+// ReplStatus reports the server's replication role and progress.
+func (s *Server) ReplStatus() ReplStatus {
+	if fs := s.follower; fs != nil {
+		st := ReplStatus{
+			Role:        "follower",
+			Leader:      s.cfg.FollowAddr,
+			State:       fs.state.Load().(string),
+			AppliedLSN:  fs.applied.Load(),
+			Records:     fs.records.Load(),
+			Skipped:     fs.skipped.Load(),
+			Bootstraps:  fs.bootstraps.Load(),
+			TornResumes: fs.tornResume.Load(),
+			Corruptions: fs.corrupt.Load(),
+			Reconnects:  fs.reconnects.Load(),
+			LastError:   fs.lastErr.Load().(string),
+		}
+		st.LeaderNextLSN = fs.leaderNext.Load()
+		if st.LeaderNextLSN > 0 {
+			st.Lag = int64(st.LeaderNextLSN) - 1 - int64(st.AppliedLSN)
+			if st.Lag < 0 {
+				st.Lag = 0
+			}
+		}
+		return st
+	}
+	if s.wal != nil {
+		return ReplStatus{
+			Role:      "leader",
+			NextLSN:   s.wal.NextLSN(),
+			OldestLSN: s.wal.OldestLSN(),
+		}
+	}
+	return ReplStatus{Role: "standalone"}
+}

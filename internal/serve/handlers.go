@@ -26,20 +26,30 @@ import (
 //	POST   /v1/graphs/{name}/ppr           personalized PageRank (single or batch seeds)
 //	POST   /v1/graphs/{name}/edges         apply a batched edge delta (JSON insert/delete pairs)
 //	POST   /v1/graphs/{name}/recompute     re-run the engine (JSON options)
+//	GET    /v1/wal?from=N                  replication: long-poll the WAL tail (leader only)
+//	GET    /v1/repl/bootstrap              replication: snapshot bootstrap stream (leader only)
+//	GET    /v1/repl/status                 replication role + progress
+//
+// On a follower (Config.FollowAddr set) every mutating route answers 503
+// with an X-Repl-Leader header naming where writes belong; reads are served
+// from the follower's own snapshots.
 //
 // The handler chain wraps the mux with panic recovery and request logging.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/graphs", s.handleList)
-	mux.HandleFunc("POST /v1/graphs", s.handleIngest)
+	mux.HandleFunc("POST /v1/graphs", s.leaderOnly(s.handleIngest))
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleInfo)
-	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDelete)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.leaderOnly(s.handleDelete))
 	mux.HandleFunc("GET /v1/graphs/{name}/topk", s.handleTopK)
 	mux.HandleFunc("GET /v1/graphs/{name}/rank/{vertex}", s.handleRank)
 	mux.HandleFunc("POST /v1/graphs/{name}/ppr", s.handlePPR)
-	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleEdges)
-	mux.HandleFunc("POST /v1/graphs/{name}/recompute", s.handleRecompute)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.leaderOnly(s.handleEdges))
+	mux.HandleFunc("POST /v1/graphs/{name}/recompute", s.leaderOnly(s.handleRecompute))
+	mux.HandleFunc("GET /v1/wal", s.handleWALTail)
+	mux.HandleFunc("GET /v1/repl/bootstrap", s.handleReplBootstrap)
+	mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
 	// recoverer sits inside the logger so a panicking request still gets an
 	// access-log line (with the 500 the recoverer writes).
 	return requestLogger(s.log, recoverer(s.log, mux))
@@ -48,6 +58,7 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
+		"role":     s.ReplStatus().Role,
 		"graphs":   s.NumGraphs(),
 		"uptime_s": s.Uptime().Seconds(),
 	})

@@ -188,6 +188,19 @@ type Config struct {
 	// maxRepairDrift; zero keeps the 1e-3 default, negative disables the
 	// budget entirely).
 	MaxRepairDrift float64
+	// FollowAddr makes this server a read-only replication follower of the
+	// leader at this base URL (e.g. "http://10.0.0.1:8080"): Follow
+	// bootstraps from the leader's snapshots, tails its WAL stream, and
+	// applies records through the replay paths, while the HTTP layer
+	// rejects writes with 503 plus a leader hint. Incompatible with
+	// DataDir — a follower's durability is the leader's.
+	FollowAddr string
+	// FollowPollWait is the long-poll window a follower requests per tail
+	// round (default 25s).
+	FollowPollWait time.Duration
+	// FollowBackoff is the initial reconnect backoff after a failed
+	// bootstrap or tail round, doubling up to 5s (default 200ms).
+	FollowBackoff time.Duration
 }
 
 // Server owns the graph registry and serves rank queries. Create one with
@@ -228,6 +241,12 @@ type Server struct {
 	// replayDriftRecomputes counts recomputes the drift budget forced
 	// during replay; Recover reports it.
 	replayDriftRecomputes int
+
+	// follower holds the replication-follower machinery when
+	// Config.FollowAddr is set; see follower.go. The follower's apply
+	// goroutine is the only writer of the registry, reusing the replay
+	// fields above under the same single-writer discipline.
+	follower *followerState
 }
 
 // New builds a Server from cfg.
@@ -248,6 +267,9 @@ func New(cfg Config) *Server {
 		computeFn: pcpm.RunWithSCC,
 	}
 	s.pprRunFn = s.runPersonalizedMisses
+	if cfg.FollowAddr != "" {
+		s.follower = newFollowerState(cfg)
+	}
 	return s
 }
 
@@ -376,8 +398,9 @@ func (s *Server) addGraph(name string, g *graph.Graph, opts pcpm.Options, replac
 	}
 	// Write-ahead: the ingest must be durable before any reader can see
 	// it. A failed append rejects the ingest rather than serving state a
-	// restart would silently lose.
-	lsn, err := s.walAppendAdd(name, g, opts, replace)
+	// restart would silently lose. The record carries the computed snapshot,
+	// so replay and replication followers never re-run this engine run.
+	lsn, err := s.walAppendAdd(name, snap, replace)
 	if err != nil {
 		return GraphInfo{}, err
 	}
@@ -637,11 +660,14 @@ func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 	old := e.snap.Load()
 	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts)
 	if err == nil {
-		// Logged so a replayed registry tracks the options (method,
-		// damping, ...) the live daemon actually served with.
+		// Logged with the resulting rank vector in the blob, so replay and
+		// replication followers republish this result instead of re-running
+		// the engine — recomputes happen once, here.
 		var lsn uint64
 		lsn, err = s.walAppend(wal.RecRecompute,
-			recomputeMeta{Name: e.name, Parent: old.WalLSN, Options: opts}, nil)
+			recomputeMeta{Name: e.name, Parent: old.WalLSN, Options: opts,
+				Method: snap.Method, Iterations: snap.Iterations, Delta: snap.Delta},
+			s.recomputeBlob(snap))
 		if err == nil {
 			snap.WalLSN = lsn
 			e.snap.Store(snap)

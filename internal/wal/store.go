@@ -21,6 +21,11 @@ import (
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("wal: store closed")
 
+// ErrPruned is returned by ReadFrom when the requested cursor predates the
+// oldest retained record — a checkpoint pruned the segments holding it. The
+// caller (a replication follower) must re-bootstrap from snapshots.
+var ErrPruned = errors.New("wal: records before cursor pruned")
+
 // Options configure a Store.
 type Options struct {
 	// SyncEvery selects the fsync policy for log appends: 0 (the default)
@@ -91,6 +96,8 @@ type Store struct {
 
 	replaySegs []segmentInfo // segment sizes as of Open, for Replay
 	snaps      []GraphSnapshot
+
+	notify chan struct{} // closed-and-replaced on append, for long-poll tails
 
 	stopSync chan struct{}
 	syncDone chan struct{}
@@ -332,7 +339,108 @@ func (s *Store) Append(typ RecordType, meta, blob []byte) (uint64, error) {
 	}
 	s.nextLSN = lsn + 1
 	s.hasRecords = true
+	if s.notify != nil {
+		close(s.notify)
+		s.notify = nil
+	}
 	return lsn, nil
+}
+
+// Notify returns a channel that is closed when a record is appended after
+// the call. Long-poll readers grab the channel, re-check NextLSN, and then
+// block on it; each append invalidates the channel, so callers must fetch a
+// fresh one per wait round.
+func (s *Store) Notify() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.notify == nil {
+		s.notify = make(chan struct{})
+	}
+	return s.notify
+}
+
+// OldestLSN returns the sequence number of the oldest record still retained
+// in the log. With no retained records (a fresh directory, or everything
+// pruned into snapshots) it equals NextLSN: nothing below it is readable.
+func (s *Store) OldestLSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.segs) == 0 {
+		return s.nextLSN
+	}
+	return s.segs[0].first
+}
+
+// ReadFrom streams every durable record with LSN >= from, in order,
+// including records appended after Open (unlike Replay, which stops at the
+// Open-time tail). It is safe to call concurrently with appends and
+// checkpoints: the segment list and sizes are snapshotted under the lock,
+// so only whole acknowledged frames are visited. When from predates the
+// oldest retained record — or a checkpoint prunes a segment mid-read —
+// ReadFrom fails with ErrPruned and the caller must restart from snapshots.
+// fn may return ErrStop to end the stream early without error.
+func (s *Store) ReadFrom(from uint64, fn func(*Record) error) error {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		return err
+	}
+	segs := append([]segmentInfo(nil), s.segs...)
+	next := s.nextLSN
+	s.mu.Unlock()
+
+	if from >= next {
+		return nil
+	}
+	if len(segs) == 0 || from < segs[0].first {
+		oldest := next
+		if len(segs) > 0 {
+			oldest = segs[0].first
+		}
+		return fmt.Errorf("%w (cursor %d, oldest retained %d)", ErrPruned, from, oldest)
+	}
+	// Skip segments wholly below the cursor: a segment is skippable when the
+	// next one starts at or before the cursor.
+	start := 0
+	for start+1 < len(segs) && segs[start+1].first <= from {
+		start++
+	}
+	stopped := false
+	for _, seg := range segs[start:] {
+		if seg.size == 0 || stopped {
+			continue
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Pruned between the snapshot above and the open.
+				return fmt.Errorf("%w (segment %s pruned mid-read)", ErrPruned, filepath.Base(seg.path))
+			}
+			return fmt.Errorf("wal: %w", err)
+		}
+		_, err = Scan(bufio.NewReaderSize(f, 1<<20), seg.size, seg.first, func(rec *Record) error {
+			if rec.LSN < from {
+				return nil
+			}
+			if err := fn(rec); err != nil {
+				if errors.Is(err, ErrStop) {
+					stopped = true
+				}
+				return err
+			}
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			var cerr *CorruptionError
+			if errors.As(err, &cerr) && cerr.Path == "" {
+				cerr.Path = seg.path
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *Store) ensureSegmentLocked() error {
@@ -535,6 +643,12 @@ func (s *Store) Close() error {
 			err = cerr
 		}
 		s.file = nil
+	}
+	if s.notify != nil {
+		// Wake long-poll waiters so they observe the closed store instead of
+		// blocking out their full deadline.
+		close(s.notify)
+		s.notify = nil
 	}
 	if s.err == nil {
 		s.err = ErrClosed

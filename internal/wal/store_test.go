@@ -447,7 +447,7 @@ func TestScanStopsEarlyWithoutCorruption(t *testing.T) {
 	n := 0
 	res, err := Scan(bytes.NewReader(frames), int64(len(frames)), 1, func(r *Record) error {
 		n++
-		return errStopScan
+		return ErrStop
 	})
 	if err != nil || n != 1 || res.Torn {
 		t.Fatalf("early stop: err=%v n=%d res=%+v", err, n, res)

@@ -91,6 +91,12 @@ const (
 	// whole upload, so the cap matches the daemon's largest default upload
 	// (1 GiB) with framing headroom.
 	MaxRecordBytes = 1<<30 + 1<<20
+
+	// FrameHeaderLen and MinPayloadLen expose the frame geometry for
+	// consumers that decode frames outside a segment file — the replication
+	// wire protocol streams the exact on-disk framing over HTTP.
+	FrameHeaderLen = frameHeader
+	MinPayloadLen  = payloadMin
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -115,6 +121,49 @@ func appendFrame(dst []byte, lsn uint64, typ RecordType, meta, blob []byte) []by
 // section lengths.
 func frameSize(metaLen, blobLen int) int64 {
 	return int64(frameHeader + payloadMin + metaLen + blobLen)
+}
+
+// EncodeFrame appends rec's canonical wire frame to dst and returns the
+// extended slice. The encoding is byte-identical to the on-disk segment
+// framing, so a record read from the log can be re-framed for the
+// replication stream without touching its payload.
+func EncodeFrame(dst []byte, rec *Record) []byte {
+	return appendFrame(dst, rec.LSN, rec.Type, rec.Meta, rec.Blob)
+}
+
+// DecodePayload validates one frame payload (the bytes after the
+// length+crc header) against wantCRC and decodes it into a Record. The
+// returned record aliases payload. It cannot distinguish a torn tail from
+// corruption — stream decoders that need that distinction (the wire
+// decoder in internal/repl) make the call from framing context.
+func DecodePayload(payload []byte, wantCRC uint32) (*Record, error) {
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		return nil, &CorruptionError{Reason: "checksum mismatch"}
+	}
+	return parsePayload(payload)
+}
+
+// parsePayload decodes an already-checksummed frame payload.
+func parsePayload(payload []byte) (*Record, error) {
+	if len(payload) < payloadMin {
+		return nil, &CorruptionError{Reason: fmt.Sprintf("payload of %d bytes, want at least %d", len(payload), payloadMin)}
+	}
+	rec := &Record{
+		LSN:  binary.LittleEndian.Uint64(payload[0:]),
+		Type: RecordType(payload[8]),
+	}
+	metaLen := int64(binary.LittleEndian.Uint32(payload[9:]))
+	if !rec.Type.valid() {
+		return nil, &CorruptionError{Reason: fmt.Sprintf("unknown record type %d", rec.Type)}
+	}
+	if metaLen > int64(len(payload)-payloadMin) {
+		return nil, &CorruptionError{Reason: fmt.Sprintf("metadata length %d exceeds payload", metaLen)}
+	}
+	rec.Meta = payload[payloadMin : payloadMin+metaLen]
+	if rest := payload[payloadMin+metaLen:]; len(rest) > 0 {
+		rec.Blob = rest
+	}
+	return rec, nil
 }
 
 // CorruptionError reports an invalid record that cannot be a torn tail:
@@ -147,8 +196,8 @@ type ScanResult struct {
 	NextLSN uint64
 }
 
-// errStopScan lets fn terminate a scan early without flagging corruption.
-var errStopScan = errors.New("wal: scan stopped")
+// ErrStop lets fn terminate a Scan or ReadFrom early without error.
+var ErrStop = errors.New("wal: scan stopped")
 
 // Scan decodes records from one segment stream of the given size, calling
 // fn for each. firstLSN is the LSN the segment's first record must carry
@@ -227,7 +276,7 @@ func Scan(r io.Reader, size int64, firstLSN uint64, fn func(*Record) error) (Sca
 		}
 		if fn != nil {
 			if err := fn(&rec); err != nil {
-				if errors.Is(err, errStopScan) {
+				if errors.Is(err, ErrStop) {
 					res.ValidBytes = end
 					return res, nil
 				}
