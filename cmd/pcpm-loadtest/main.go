@@ -74,6 +74,8 @@ func main() {
 		upload  = flag.String("upload-file", "", "graph file re-uploaded by upload ops (remote mode; -self uses the generated graph)")
 		dataDir = flag.String("data-dir", "",
 			"durable data directory for the -self server; required for restart=N mix traffic (each restart op recovers the server from it)")
+		promoteURL = flag.String("promote-url", "",
+			"follower base URL targeted by promote=N mix traffic (the first promote op performs the failover, the rest measure the idempotent path)")
 		out = flag.String("o", "", "write the JSON report here (default stdout)")
 	)
 	var followers []string
@@ -101,6 +103,7 @@ func main() {
 
 		RecomputeComponentwise: *compRec,
 		FollowerURLs:           followers,
+		PromoteURL:             *promoteURL,
 	}
 	if *mixSpec != "" {
 		mix, err := loadgen.ParseMix(*mixSpec)

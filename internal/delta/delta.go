@@ -33,6 +33,7 @@ package delta
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/graph"
@@ -266,9 +267,20 @@ func Apply(g *graph.Graph, ranks []float32, d EdgeDelta, o Options) (*Result, er
 	// (α = 1−damping). Dangling vertices contribute no terms on their
 	// dangling side — that mass leaked in the old fixed point and keeps
 	// leaking in the new one.
+	// Every float sum below runs in sorted-node order. Map-order iteration
+	// would make the per-node masses and SeedL1 (and, downstream, the
+	// repair's ResidualL1 and the server's cumulative drift accounting)
+	// vary by an ulp from run to run — float32 rank rounding absorbs that,
+	// but a replica replaying the leader's exact drift values would then
+	// disagree with its own live recomputation of them.
 	scale := damping / (1 - damping)
-	seedMass := make(map[graph.NodeID]float64, 4*len(changed))
+	touched := make([]graph.NodeID, 0, len(changed))
 	for u := range changed {
+		touched = append(touched, u)
+	}
+	slices.Sort(touched)
+	seedMass := make(map[graph.NodeID]float64, 4*len(changed))
+	for _, u := range touched {
 		c := scale * float64(ranks[u])
 		if c == 0 {
 			continue
@@ -286,8 +298,14 @@ func Apply(g *graph.Graph, ranks []float32, d EdgeDelta, o Options) (*Result, er
 			}
 		}
 	}
+	order := make([]graph.NodeID, 0, len(seedMass))
+	for v := range seedMass {
+		order = append(order, v)
+	}
+	slices.Sort(order)
 	seeds := make([]ppr.ResidualSeed, 0, len(seedMass))
-	for v, m := range seedMass {
+	for _, v := range order {
+		m := seedMass[v]
 		if m == 0 {
 			continue
 		}

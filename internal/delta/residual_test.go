@@ -1,0 +1,136 @@
+package delta
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ranksBitEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// The core contract: apply(encode(prev, next), prev) is bit-identical to
+// next, for sparse and dense perturbations alike.
+func TestResidualRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, frac := range []float64{0, 0.001, 0.1, 0.5, 1} {
+		n := 4096
+		prev := make([]float32, n)
+		next := make([]float32, n)
+		for i := range prev {
+			prev[i] = rng.Float32()
+			next[i] = prev[i]
+			if rng.Float64() < frac {
+				next[i] = prev[i] + float32(rng.NormFloat64()*1e-6)
+			}
+		}
+		blob, ok := EncodeResidual(prev, next)
+		if !ok {
+			t.Fatalf("frac %v: encode refused a plain perturbation", frac)
+		}
+		got, err := ApplyResidual(prev, blob)
+		if err != nil {
+			t.Fatalf("frac %v: apply: %v", frac, err)
+		}
+		if !ranksBitEqual(got, next) {
+			t.Fatalf("frac %v: reconstruction not bit-identical", frac)
+		}
+	}
+}
+
+func TestResidualEmptyDelta(t *testing.T) {
+	prev := []float32{0.1, 0.2, 0.3}
+	blob, ok := EncodeResidual(prev, prev)
+	if !ok || len(blob) != ResidualSize(0) {
+		t.Fatalf("identical vectors: ok=%v len=%d, want empty residual of %d bytes", ok, len(blob), ResidualSize(0))
+	}
+	got, err := ApplyResidual(prev, blob)
+	if err != nil || !ranksBitEqual(got, prev) {
+		t.Fatalf("empty residual did not reproduce the input: %v", err)
+	}
+}
+
+// A target the addition cannot reach (−0 from +0) must be refused at
+// encode time, not silently mis-decoded later.
+func TestResidualRefusesUnreachableBits(t *testing.T) {
+	prev := []float32{0}
+	next := []float32{float32(math.Copysign(0, -1))}
+	if _, ok := EncodeResidual(prev, next); ok {
+		t.Fatal("encode accepted a −0 target that addition cannot reconstruct")
+	}
+	if _, ok := EncodeResidual([]float32{1, 2}, []float32{1}); ok {
+		t.Fatal("encode accepted mismatched lengths")
+	}
+}
+
+// ApplyResidual consumes WAL/wire bytes: malformed framing fails closed
+// and never mutates the input vector.
+func TestResidualRejectsMalformed(t *testing.T) {
+	prev := []float32{0.25, 0.5}
+	orig := append([]float32(nil), prev...)
+	good, _ := EncodeResidual(prev, []float32{0.3, 0.5})
+	outOfRange := reEntry(t, good, 9)
+	sameNodeTwice := append(reEntry(t, good, 1), reEntry(t, good, 1)[4:]...)
+	sameNodeTwice[0] = 2
+	cases := map[string][]byte{
+		"short":           {1, 0},
+		"count mismatch":  append(append([]byte{}, good...), 0xEE),
+		"node range":      outOfRange,
+		"node order":      sameNodeTwice,
+		"lying count":     {0xff, 0xff, 0xff, 0xff},
+		"truncated entry": good[:len(good)-3],
+	}
+	for name, blob := range cases {
+		if _, err := ApplyResidual(prev, blob); err == nil {
+			t.Errorf("%s: malformed residual accepted", name)
+		}
+	}
+	if !ranksBitEqual(prev, orig) {
+		t.Fatal("ApplyResidual mutated its input vector")
+	}
+}
+
+// reEntry copies a one-entry residual blob with its node rewritten.
+func reEntry(t *testing.T, good []byte, node uint32) []byte {
+	t.Helper()
+	if len(good) != ResidualSize(1) {
+		t.Fatalf("seed blob has %d bytes, want one entry", len(good))
+	}
+	blob := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(blob[4:], node)
+	return blob
+}
+
+// Residual encoding of a sparse repair must actually be smaller than the
+// full float32 vector — the size guard callers rely on.
+func TestResidualSparseWins(t *testing.T) {
+	n := 10000
+	prev := make([]float32, n)
+	next := make([]float32, n)
+	for i := range prev {
+		prev[i] = float32(i)
+		next[i] = prev[i]
+	}
+	next[17] += 0.5
+	next[4242] -= 0.25
+	blob, ok := EncodeResidual(prev, next)
+	if !ok {
+		t.Fatal("encode failed")
+	}
+	if full := 4 * n; len(blob) >= full {
+		t.Fatalf("sparse residual (%d bytes) not smaller than full vector (%d)", len(blob), full)
+	}
+	if len(blob) != ResidualSize(2) {
+		t.Fatalf("2-entry residual is %d bytes, want %d", len(blob), ResidualSize(2))
+	}
+}

@@ -51,10 +51,11 @@ const (
 	OpUpload       OpKind = "upload"
 	OpRestart      OpKind = "restart"
 	OpFollowerRead OpKind = "follower_read"
+	OpPromote      OpKind = "promote"
 )
 
 // opKinds is the fixed aggregation order of reports.
-var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute, OpUpload, OpRestart, OpFollowerRead}
+var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute, OpUpload, OpRestart, OpFollowerRead, OpPromote}
 
 // Mix holds the relative weights of each operation kind in the schedule.
 // Weights are proportions, not percentages; the zero value of a field
@@ -77,6 +78,13 @@ var opKinds = []OpKind{OpTopK, OpRank, OpPPR, OpPPRBatch, OpMutate, OpRecompute,
 // draws a replica from Config.FollowerURLs (Zipf vertex, alternating
 // topk/rank) and issues the read there instead of at BaseURL, measuring
 // follower-served latency under the same schedule that mutates the leader.
+//
+// Promote ops exercise the failover control path: each POSTs to the
+// promote endpoint of the follower at Config.PromoteURL. The first one in
+// a replay performs the actual promotion (its latency is the failover-cut
+// sample); the rest measure the idempotent already-leader answer. Promote
+// runs under the shared gate — concurrent reads and writes keep flowing,
+// which is exactly the regime a real failover happens in.
 type Mix struct {
 	TopK         int `json:"topk"`
 	Rank         int `json:"rank"`
@@ -87,6 +95,7 @@ type Mix struct {
 	Upload       int `json:"upload"`
 	Restart      int `json:"restart"`
 	FollowerRead int `json:"follower_read"`
+	Promote      int `json:"promote"`
 }
 
 // DefaultMix is a read-heavy serving profile: mostly cached global reads,
@@ -113,6 +122,7 @@ func ParseMix(spec string) (Mix, error) {
 		string(OpRestart):      &m.Restart,
 		string(OpFollowerRead): &m.FollowerRead,
 		"follower":             &m.FollowerRead, // shorthand
+		string(OpPromote):      &m.Promote,
 	}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
@@ -156,6 +166,8 @@ func (m Mix) weight(k OpKind) int {
 		return m.Restart
 	case OpFollowerRead:
 		return m.FollowerRead
+	case OpPromote:
+		return m.Promote
 	}
 	return 0
 }
@@ -199,6 +211,9 @@ type Config struct {
 	// FollowerURLs lists replica base URLs for follower_read operations
 	// (e.g. "http://127.0.0.1:8081"); empty disables them.
 	FollowerURLs []string
+	// PromoteURL is the base URL of the follower promote operations target;
+	// empty disables them. See the Promote paragraph on Mix.
+	PromoteURL string
 	// RestartFn restarts the target server for restart operations and
 	// returns once it serves again (e.g. kill the process, relaunch it with
 	// the same -data-dir, poll /healthz). Restarts run exclusively: the
@@ -253,6 +268,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if len(cfg.FollowerURLs) == 0 {
 		cfg.Mix.FollowerRead = 0
+	}
+	if cfg.PromoteURL == "" {
+		cfg.Mix.Promote = 0
 	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: 30 * time.Second}
@@ -612,6 +630,8 @@ func (c *client) do(op Op) error {
 			return c.get(fmt.Sprintf("%s/v1/graphs/%s/rank/%d", base, g, op.Node))
 		}
 		return c.get(fmt.Sprintf("%s/v1/graphs/%s/topk?k=%d", base, g, c.cfg.K))
+	case OpPromote:
+		return c.post(c.cfg.PromoteURL+"/v1/repl/promote", "application/json", nil)
 	}
 	return fmt.Errorf("loadgen: unknown op kind %q", op.Kind)
 }

@@ -34,10 +34,15 @@ func FuzzReplStream(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}) // 4 GiB length claim
 	flipped := fuzzSeedStream(1, 2)
 	flipped[len(flipped)/2] ^= 0x20
-	f.Add(flipped)                 // mid-stream bitflip
-	f.Add(fuzzSeedStream(1, 1))    // stale-LSN replay
-	f.Add(fuzzSeedStream(2, 1))    // reordered
-	f.Add(fuzzSeedStream(1, 2, 9)) // gap
+	f.Add(flipped)                    // mid-stream bitflip
+	f.Add(fuzzSeedStream(1, 1))       // stale-LSN replay
+	f.Add(fuzzSeedStream(2, 1))       // reordered
+	f.Add(fuzzSeedStream(1, 2, 9))    // gap
+	f.Add(stream(rec(1), &wal.Record{ // residual-shipped recompute frame
+		LSN: 2, Type: wal.RecRankResidual,
+		Meta: []byte(`{"name":"g","parent":1}`),
+		Blob: []byte{1, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f},
+	}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {
@@ -63,7 +68,7 @@ func FuzzReplStream(f *testing.F) {
 			}
 			if r.Type != wal.RecAddGraph && r.Type != wal.RecEdgeDelta &&
 				r.Type != wal.RecRemoveGraph && r.Type != wal.RecRecompute &&
-				r.Type != wal.RecCheckpoint {
+				r.Type != wal.RecCheckpoint && r.Type != wal.RecRankResidual {
 				t.Fatalf("decoder passed invalid record type %d", r.Type)
 			}
 			if d.Offset() <= off {

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 // TestGenCorpus materializes the FuzzReplStream seed corpus into
@@ -25,6 +27,11 @@ func TestGenCorpus(t *testing.T) {
 		"seed_lying_length":  {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
 		"seed_stale_replay":  fuzzSeedStream(1, 1),
 		"seed_lsn_gap":       fuzzSeedStream(1, 2, 9),
+		"seed_rank_residual": stream(rec(1), &wal.Record{
+			LSN: 2, Type: wal.RecRankResidual,
+			Meta: []byte(`{"name":"g","parent":1}`),
+			Blob: []byte{1, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f},
+		}),
 	}
 	flipped := fuzzSeedStream(1, 2)
 	flipped[len(flipped)/2] ^= 0x20

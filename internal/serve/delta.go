@@ -252,19 +252,27 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 	}
 	// Write-ahead: the batch becomes durable before its snapshot becomes
 	// visible. Parent links the record to the snapshot it mutated so
-	// replay can skip a delta that published into an orphaned entry. An
-	// incremental repair is deterministic and cheap, so replay and
-	// followers redo it from the edge lists alone; a fallback ran the
-	// engine, so its snapshot ships in the blob and is installed as-is.
+	// replay can skip a delta that published into an orphaned entry. A
+	// fallback ran the engine, so its whole snapshot ships in the blob and
+	// is installed as-is; an incremental repair ships its repaired vector
+	// as a signed residual delta (or the full vector when the residual is
+	// not smaller) plus the drift accounting, so replay and followers
+	// rebuild the structure from the edge lists and install the leader's
+	// ranks bit-for-bit instead of re-draining the repair.
+	m := deltaMeta{Name: e.name, Parent: snap.WalLSN, Insert: d.Insert, Delete: d.Delete,
+		FellBack: fellBack, Reason: reason}
 	var blob []byte
-	if fellBack && s.wal != nil && !s.replaying {
-		if blob, err = snapshotBlob(e.name, ns); err != nil {
-			return DeltaStatus{}, err
+	if s.wal.Load() != nil && !s.replaying {
+		if fellBack {
+			if blob, err = snapshotBlob(e.name, ns); err != nil {
+				return DeltaStatus{}, err
+			}
+		} else {
+			m.RanksEnc, blob = s.shipRanks(snap.Ranks, ns.Ranks)
+			m.Rounds, m.Residual, m.Drift = res.Rounds, res.ResidualL1, drift
 		}
 	}
-	lsn, err := s.walAppend(wal.RecEdgeDelta,
-		deltaMeta{Name: e.name, Parent: snap.WalLSN, Insert: d.Insert, Delete: d.Delete,
-			FellBack: fellBack, Reason: reason}, blob)
+	lsn, err := s.walAppend(wal.RecEdgeDelta, m, blob)
 	if err != nil {
 		return DeltaStatus{}, err
 	}

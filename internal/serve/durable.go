@@ -67,7 +67,25 @@ type deltaMeta struct {
 	// fallbacks from it).
 	FellBack bool   `json:"fell_back,omitempty"`
 	Reason   string `json:"reason,omitempty"`
+	// RanksEnc, when set, says the record ships the repaired rank vector in
+	// its blob and how it is encoded: "residual" (sparse signed delta
+	// against the parent vector, see internal/delta's residual codec) or
+	// "full" (float32 LE, the size-guard fallback). Appliers then rebuild
+	// the structure from the edge lists and install the shipped ranks with
+	// the leader's drift accounting (Rounds/Residual/Drift) instead of
+	// re-running the repair. Empty on pre-residual records: those repairs
+	// are re-run locally from the edge lists alone.
+	RanksEnc string  `json:"ranks_enc,omitempty"`
+	Rounds   int     `json:"rounds,omitempty"`
+	Residual float64 `json:"residual,omitempty"`
+	Drift    float64 `json:"drift,omitempty"`
 }
+
+// Rank-vector encodings named by deltaMeta.RanksEnc.
+const (
+	ranksEncResidual = "residual"
+	ranksEncFull     = "full"
+)
 
 // recomputeMeta is the RecRecompute payload: the resolved options and
 // result shape of an engine re-run. The recomputed rank vector rides in
@@ -155,13 +173,18 @@ func encodeRanks(ranks []float32) []byte {
 	return out
 }
 
-// recomputeBlob encodes snap's rank vector for a RecRecompute record,
-// skipping the work when no record will be written.
-func (s *Server) recomputeBlob(snap *Snapshot) []byte {
-	if s.wal == nil || s.replaying {
-		return nil
+// shipRanks picks the wire encoding for a published rank vector: the
+// sparse signed residual against the parent vector when it is strictly
+// smaller than the full float32 form (and exactly reconstructible), the
+// full vector otherwise. Config.ShipFullVectors forces the full form.
+func (s *Server) shipRanks(prev, next []float32) (enc string, blob []byte) {
+	full := encodeRanks(next)
+	if !s.cfg.ShipFullVectors {
+		if resid, ok := delta.EncodeResidual(prev, next); ok && len(resid) < len(full) {
+			return ranksEncResidual, resid
+		}
 	}
-	return encodeRanks(snap.Ranks)
+	return ranksEncFull, full
 }
 
 func decodeRanks(blob []byte) ([]float32, error) {
@@ -183,18 +206,41 @@ func (s *Server) walAppend(typ wal.RecordType, meta any, blob []byte) (uint64, e
 	if s.replaying {
 		return s.replayLSN, nil
 	}
-	if s.wal == nil {
+	st := s.wal.Load()
+	if st == nil {
 		return 0, nil
 	}
 	mb, err := json.Marshal(meta)
 	if err != nil {
 		return 0, fmt.Errorf("serve: wal meta: %w", err)
 	}
-	lsn, err := s.wal.Append(typ, mb, blob)
+	lsn, err := st.Append(typ, mb, blob)
 	if err != nil {
 		return 0, fmt.Errorf("serve: %w", err)
 	}
 	return lsn, nil
+}
+
+// walAppendRecompute logs one engine re-run, shipping the resulting rank
+// vector as a RecRankResidual (sparse signed delta against the parent
+// snapshot's vector) when that encoding is smaller, or a full-vector
+// RecRecompute otherwise. Both record types decode to byte-identical
+// follower state.
+func (s *Server) walAppendRecompute(name string, old, snap *Snapshot, opts pcpm.Options) (uint64, error) {
+	if s.replaying {
+		return s.replayLSN, nil
+	}
+	if s.wal.Load() == nil {
+		return 0, nil
+	}
+	m := recomputeMeta{Name: name, Parent: old.WalLSN, Options: opts,
+		Method: snap.Method, Iterations: snap.Iterations, Delta: snap.Delta}
+	typ := wal.RecRecompute
+	enc, blob := s.shipRanks(old.Ranks, snap.Ranks)
+	if enc == ranksEncResidual {
+		typ = wal.RecRankResidual
+	}
+	return s.walAppend(typ, m, blob)
 }
 
 // walAppendAdd logs one ingest. The blob is the just-computed snapshot, so
@@ -206,7 +252,7 @@ func (s *Server) walAppendAdd(name string, snap *Snapshot, replace bool) (uint64
 	if s.replaying {
 		return s.replayLSN, nil
 	}
-	if s.wal == nil {
+	if s.wal.Load() == nil {
 		return 0, nil
 	}
 	blob, err := snapshotBlob(name, snap)
@@ -216,16 +262,9 @@ func (s *Server) walAppendAdd(name string, snap *Snapshot, replace bool) (uint64
 	return s.walAppend(wal.RecAddGraph, addMeta{Name: name, Replace: replace, Options: snap.Options}, blob)
 }
 
-// installSnapshot publishes a deserialized snapshot into the registry:
-// recovery phase 1, replayed v2 ingests, fallback deltas, and follower
-// bootstrap all land here. The LSN comes from the caller (the record or
-// snapshot position being installed), not from m — the blob was written
-// before its append was assigned one. Versions never go backwards: an
-// install over an existing entry continues its sequence, matching what the
-// live replace published. Only the single-threaded recovery/follower apply
-// goroutine calls this, but readers may be live, so publication order
-// matters: a fresh entry gets its snapshot before it is visible in the map.
-func (s *Server) installSnapshot(name string, gs *graph.Snapshot, m snapMeta, lsn uint64) *Snapshot {
+// buildSnapshot derives the full in-memory Snapshot (stats, condensation,
+// top-k cache) from a decoded snapshot blob and its log position.
+func buildSnapshot(gs *graph.Snapshot, m snapMeta, lsn uint64) *Snapshot {
 	stats, dec := graphStats(gs.Graph)
 	snap := &Snapshot{
 		Graph:       gs.Graph,
@@ -242,6 +281,20 @@ func (s *Server) installSnapshot(name string, gs *graph.Snapshot, m snapMeta, ls
 		ComputedAt:  m.ComputedAt,
 	}
 	snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+	return snap
+}
+
+// installSnapshot publishes a deserialized snapshot into the registry:
+// recovery phase 1, replayed v2 ingests, fallback deltas, and follower
+// bootstrap all land here. The LSN comes from the caller (the record or
+// snapshot position being installed), not from m — the blob was written
+// before its append was assigned one. Versions never go backwards: an
+// install over an existing entry continues its sequence, matching what the
+// live replace published. Only the single-threaded recovery/follower apply
+// goroutine calls this, but readers may be live, so publication order
+// matters: a fresh entry gets its snapshot before it is visible in the map.
+func (s *Server) installSnapshot(name string, gs *graph.Snapshot, m snapMeta, lsn uint64) *Snapshot {
+	snap := buildSnapshot(gs, m, lsn)
 
 	s.mu.Lock()
 	e, ok := s.graphs[name]
@@ -310,8 +363,13 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	if s.cfg.DataDir == "" {
 		return rep, nil
 	}
-	if s.wal != nil {
+	if s.wal.Load() != nil {
 		return nil, errors.New("serve: Recover called twice")
+	}
+	if s.cfg.FollowAddr != "" {
+		// A follower's DataDir is the promotion target, not a live log;
+		// opening it here would fork durability from the leader's.
+		return rep, nil
 	}
 	start := time.Now()
 	st, err := wal.Open(s.cfg.DataDir, wal.Options{SyncEvery: s.cfg.FsyncEvery})
@@ -355,7 +413,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 		st.Close()
 		return nil, err
 	}
-	s.wal = st
+	s.wal.Store(st)
 	rep.Graphs = s.NumGraphs()
 	rep.Duration = time.Since(start)
 	rep.DurationMS = float64(rep.Duration) / float64(time.Millisecond)
@@ -416,7 +474,8 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 		if err != nil || e.snap.Load().WalLSN != m.Parent {
 			return skip() // published into an entry a replace/remove orphaned
 		}
-		if m.FellBack && len(rec.Blob) > 0 {
+		switch {
+		case m.FellBack && len(rec.Blob) > 0:
 			// The live daemon's repair fell back to an engine run; its result
 			// rides in the blob. Install it instead of re-running — the
 			// recompute happened once, on the (then-live) leader.
@@ -428,11 +487,22 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 			if strings.Contains(m.Reason, "repair drift") {
 				s.replayDriftRecomputes++
 			}
-		} else if _, err := s.ApplyEdgeDelta(m.Name, delta.EdgeDelta{Insert: m.Insert, Delete: m.Delete}); err != nil {
-			return fail(err)
+		case m.RanksEnc != "":
+			// The repaired vector ships in the blob (residual or full): apply
+			// the structural change locally and install the leader's ranks
+			// with its drift accounting — no repair drain here.
+			if err := s.republishDelta(e, m, rec.Blob); err != nil {
+				return fail(err)
+			}
+		default:
+			// Pre-residual record: redo the deterministic repair from the
+			// edge lists alone.
+			if _, err := s.ApplyEdgeDelta(m.Name, delta.EdgeDelta{Insert: m.Insert, Delete: m.Delete}); err != nil {
+				return fail(err)
+			}
 		}
 
-	case wal.RecRecompute:
+	case wal.RecRecompute, wal.RecRankResidual:
 		var m recomputeMeta
 		if err := json.Unmarshal(rec.Meta, &m); err != nil {
 			return fail(err)
@@ -444,8 +514,8 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 		if err != nil || e.snap.Load().WalLSN != m.Parent {
 			return skip()
 		}
-		if len(rec.Blob) > 0 {
-			if err := s.republishRanks(e, rec.Blob, m); err != nil {
+		if rec.Type == wal.RecRankResidual || len(rec.Blob) > 0 {
+			if err := s.republishRanks(e, rec.Blob, rec.Type, m); err != nil {
 				return fail(err)
 			}
 		} else if err := s.replayRecompute(e, m.Options); err != nil {
@@ -472,11 +542,19 @@ func (s *Server) replayRecord(rec *wal.Record, covered map[string]uint64, rep *R
 	return nil
 }
 
-// republishRanks installs a shipped recompute result (v2 RecRecompute
-// blob): same graph, the leader's rank vector, no engine run.
-func (s *Server) republishRanks(e *entry, blob []byte, m recomputeMeta) error {
+// republishRanks installs a shipped recompute result: same graph, the
+// leader's rank vector, no engine run. A RecRecompute blob carries the
+// full float32 vector; a RecRankResidual blob carries the sparse signed
+// delta applied against the parent snapshot's ranks.
+func (s *Server) republishRanks(e *entry, blob []byte, typ wal.RecordType, m recomputeMeta) error {
 	old := e.snap.Load()
-	ranks, err := decodeRanks(blob)
+	var ranks []float32
+	var err error
+	if typ == wal.RecRankResidual {
+		ranks, err = delta.ApplyResidual(old.Ranks, blob)
+	} else {
+		ranks, err = decodeRanks(blob)
+	}
 	if err != nil {
 		return err
 	}
@@ -504,6 +582,61 @@ func (s *Server) republishRanks(e *entry, blob []byte, m recomputeMeta) error {
 	return nil
 }
 
+// republishDelta applies a residual-shipped edge delta: the structural
+// change is rebuilt locally from the record's edge lists (deterministic,
+// cheap), while the repaired rank vector and its drift accounting come
+// from the record — the repair drain ran once, on the leader, and both
+// sides publish bit-identical state.
+func (s *Server) republishDelta(e *entry, m deltaMeta, blob []byte) error {
+	old := e.snap.Load()
+	ng, _, err := delta.Rebuild(old.Graph, delta.EdgeDelta{Insert: m.Insert, Delete: m.Delete})
+	if err != nil {
+		return err
+	}
+	var ranks []float32
+	switch m.RanksEnc {
+	case ranksEncResidual:
+		ranks, err = delta.ApplyResidual(old.Ranks, blob)
+	case ranksEncFull:
+		ranks, err = decodeRanks(blob)
+	default:
+		return fmt.Errorf("unknown rank encoding %q", m.RanksEnc)
+	}
+	if err != nil {
+		return err
+	}
+	if len(ranks) != ng.NumNodes() {
+		return fmt.Errorf("shipped rank vector has %d entries, rebuilt graph has %d", len(ranks), ng.NumNodes())
+	}
+	stats, dec := graphStats(ng)
+	snap := &Snapshot{
+		Graph:   ng,
+		Stats:   stats,
+		SCC:     dec,
+		Ranks:   ranks,
+		Options: old.Options,
+		Method:  old.Method,
+		// Iterations/Delta mirror the leader's published repair shape.
+		Iterations:  m.Rounds,
+		Delta:       m.Residual,
+		RepairDrift: m.Drift,
+		Version:     e.version.Add(1),
+		WalLSN:      s.replayLSN,
+		ComputedAt:  time.Now(),
+	}
+	snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+	e.snap.Store(snap)
+	e.mu.Lock()
+	// The structure changed: cached personalized answers, pooled engines,
+	// and the repair engine all describe the pre-delta graph.
+	e.structVersion++
+	e.ppr = newPPRCache(s.cfg.PPRCacheSize)
+	e.pool.invalidate()
+	e.repairEng = nil
+	e.mu.Unlock()
+	return nil
+}
+
 // replayRecompute is the synchronous replay form of runRecompute: same
 // compute, same publish, no inflight machinery (replay is single-threaded).
 func (s *Server) replayRecompute(e *entry, opts pcpm.Options) error {
@@ -525,7 +658,8 @@ func (s *Server) replayRecompute(e *entry, opts pcpm.Options) error {
 // call concurrently with serving traffic: it reads only published
 // (immutable) snapshots. A no-op when durability is off.
 func (s *Server) Checkpoint() error {
-	if s.wal == nil {
+	st := s.wal.Load()
+	if st == nil {
 		return nil
 	}
 	s.mu.RLock()
@@ -549,7 +683,7 @@ func (s *Server) Checkpoint() error {
 			Snap: &graph.Snapshot{Graph: snap.Graph, Ranks: snap.Ranks, Meta: mb},
 		})
 	}
-	if err := s.wal.Checkpoint(ces); err != nil {
+	if err := st.Checkpoint(ces); err != nil {
 		return err
 	}
 	s.log.Info("checkpoint complete", "graphs", len(ces))
@@ -560,13 +694,14 @@ func (s *Server) Checkpoint() error {
 // server keeps serving reads afterwards, but further mutations are no
 // longer logged; call it only on shutdown.
 func (s *Server) CloseDurable() error {
-	if s.wal == nil {
+	st := s.wal.Load()
+	if st == nil {
 		return nil
 	}
 	err := s.Checkpoint()
-	if cerr := s.wal.Close(); err == nil {
+	if cerr := st.Close(); err == nil {
 		err = cerr
 	}
-	s.wal = nil
+	s.wal.Store(nil)
 	return err
 }

@@ -41,13 +41,14 @@ func newDurableServer(t *testing.T, cfg Config) (*Server, *RecoveryReport) {
 // shutdown checkpoint, so the next Recover has to replay the tail.
 func crashStop(t *testing.T, s *Server) {
 	t.Helper()
-	if s.wal == nil {
+	st := s.wal.Load()
+	if st == nil {
 		t.Fatal("crashStop: durability is off")
 	}
-	if err := s.wal.Close(); err != nil {
+	if err := st.Close(); err != nil {
 		t.Fatalf("closing wal: %v", err)
 	}
-	s.wal = nil
+	s.wal.Store(nil)
 }
 
 // publishedSnap returns name's current published snapshot.

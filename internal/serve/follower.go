@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +26,13 @@ import (
 // the first time a tail round ends with the cursor at the leader's head;
 // a reconnect keeps the state (the LSN sequence survives a leader
 // restart), a re-bootstrap resets it.
+//
+// Two runtime transitions exist on top of the loop: Reaim atomically
+// swaps the leader address (the next bootstrap/tail round follows it, and
+// a cursor predating the new leader's log re-bootstraps via the ordinary
+// ErrPruned path), and Promote asks the loop to stop at a clean record
+// boundary so the server can adopt its dormant data dir and become the
+// leader itself (see promote.go).
 
 // Follower states reported by ReplStatus.
 const (
@@ -48,7 +56,21 @@ var errApplyFailed = errors.New("serve: applying replicated record failed")
 // goroutine (Follow) owns the registry; status fields are atomics so the
 // HTTP status endpoint and tests can observe progress without locks.
 type followerState struct {
-	client repl.Client
+	// leader is the current leader base URL (string); Reaim swaps it and
+	// the loop re-reads it every round, so a re-aim takes effect at the
+	// next bootstrap or tail request.
+	leader   atomic.Value
+	pollWait time.Duration
+
+	// stopCh is closed by requestStop (promotion): the loop's derived
+	// context is canceled, in-flight polls abort at a record boundary, and
+	// the loop exits instead of retrying. loopDone is closed when Follow
+	// returns; loopRunning guards against concurrent Follow calls and
+	// tells Promote whether there is a loop to wait out.
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	loopDone    chan struct{}
+	loopRunning atomic.Bool
 
 	state      atomic.Value // string: one of the FollowState constants
 	applied    atomic.Uint64
@@ -59,6 +81,7 @@ type followerState struct {
 	tornResume atomic.Uint64
 	corrupt    atomic.Uint64
 	reconnects atomic.Uint64
+	reaims     atomic.Uint64
 	lastErr    atomic.Value // string
 
 	// Test hooks, set before Follow starts. applyHook runs before each
@@ -70,17 +93,45 @@ type followerState struct {
 
 func newFollowerState(cfg Config) *followerState {
 	fs := &followerState{
-		client: repl.Client{
-			Base:     cfg.FollowAddr,
-			PollWait: cfg.FollowPollWait,
-		},
+		pollWait: cfg.FollowPollWait,
+		stopCh:   make(chan struct{}),
+		loopDone: make(chan struct{}),
 	}
-	if fs.client.PollWait <= 0 {
-		fs.client.PollWait = defaultFollowPollWait
+	if fs.pollWait <= 0 {
+		fs.pollWait = defaultFollowPollWait
 	}
+	fs.leader.Store(cfg.FollowAddr)
 	fs.state.Store(FollowStateBootstrapping)
 	fs.lastErr.Store("")
 	return fs
+}
+
+func (fs *followerState) leaderAddr() string { return fs.leader.Load().(string) }
+
+func (fs *followerState) setLeader(addr string) {
+	fs.leader.Store(addr)
+	fs.reaims.Add(1)
+}
+
+// client builds the repl client for the current round against the current
+// leader address.
+func (fs *followerState) client() repl.Client {
+	return repl.Client{Base: fs.leaderAddr(), PollWait: fs.pollWait}
+}
+
+// requestStop asks the follower loop to exit at the next record boundary.
+// Idempotent; used by Promote.
+func (fs *followerState) requestStop() {
+	fs.stopOnce.Do(func() { close(fs.stopCh) })
+}
+
+func (fs *followerState) stopRequested() bool {
+	select {
+	case <-fs.stopCh:
+		return true
+	default:
+		return false
+	}
 }
 
 func (fs *followerState) setErr(err error) {
@@ -90,18 +141,37 @@ func (fs *followerState) setErr(err error) {
 }
 
 // Follow runs the follower loop — bootstrap, catch up, steady tail,
-// re-bootstrap on prune or corruption — until ctx is canceled. It must be
-// the only mutator of the server: the HTTP layer already rejects writes
-// when Config.FollowAddr is set, and direct API mutations on a follower
-// are a caller bug.
+// re-bootstrap on prune or corruption — until ctx is canceled or a
+// promotion stops it. It must be the only mutator of the server: the HTTP
+// layer already rejects writes while the server's role is follower, and
+// direct API mutations on a follower are a caller bug.
 func (s *Server) Follow(ctx context.Context) error {
 	if s.cfg.FollowAddr == "" {
 		return errors.New("serve: Follow requires Config.FollowAddr")
 	}
-	if s.cfg.DataDir != "" || s.wal != nil {
-		return errors.New("serve: a follower cannot be durable itself (FollowAddr with DataDir)")
+	if s.wal.Load() != nil {
+		return errors.New("serve: a follower cannot be durable itself (the data dir is adopted on promotion)")
 	}
 	fs := s.follower
+	if !fs.loopRunning.CompareAndSwap(false, true) {
+		return errors.New("serve: Follow already running")
+	}
+	// Closed last (defers are LIFO): Promote waits on it, and by then the
+	// replay-mode fields below must already be reset.
+	defer close(fs.loopDone)
+
+	// A promotion request cancels the derived context so in-flight polls
+	// abort; records already delivered were applied whole, so the cursor
+	// is a clean record boundary.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		select {
+		case <-fs.stopCh:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 
 	// The apply paths run in replay mode for the loop's lifetime: applied
 	// records keep their leader-assigned LSNs, replayed deltas bypass the
@@ -133,7 +203,7 @@ func (s *Server) Follow(ctx context.Context) error {
 		covered, cursor, err := s.followBootstrap(ctx)
 		if err != nil {
 			fs.setErr(err)
-			s.log.Warn("follower bootstrap failed", "leader", s.cfg.FollowAddr, "error", err)
+			s.log.Warn("follower bootstrap failed", "leader", fs.leaderAddr(), "error", err)
 			if !sleep() {
 				break
 			}
@@ -143,7 +213,7 @@ func (s *Server) Follow(ctx context.Context) error {
 		fs.applied.Store(cursor - 1)
 		fs.state.Store(FollowStateCatchup)
 		delay = backoff
-		s.log.Info("follower bootstrapped", "leader", s.cfg.FollowAddr,
+		s.log.Info("follower bootstrapped", "leader", fs.leaderAddr(),
 			"graphs", s.NumGraphs(), "from", cursor)
 
 		rep := &RecoveryReport{}
@@ -152,7 +222,8 @@ func (s *Server) Follow(ctx context.Context) error {
 			if fs.pollGate != nil {
 				fs.pollGate()
 			}
-			res, err := fs.client.Tail(ctx, cursor, func(rec *wal.Record) error {
+			client := fs.client()
+			res, err := client.Tail(ctx, cursor, func(rec *wal.Record) error {
 				if fs.applyHook != nil {
 					if herr := fs.applyHook(rec); herr != nil {
 						return fmt.Errorf("%w: %v", errApplyFailed, herr)
@@ -185,8 +256,9 @@ func (s *Server) Follow(ctx context.Context) error {
 					fs.state.Store(FollowStateSteady)
 				}
 			case errors.Is(err, repl.ErrPruned):
-				// The leader checkpointed past our cursor; only its
-				// snapshots can carry us forward.
+				// The leader checkpointed past our cursor — or a re-aim
+				// pointed us at a promoted leader whose log starts past it;
+				// either way only its snapshots can carry us forward.
 				fs.setErr(err)
 				s.log.Info("follower cursor pruned; re-bootstrapping", "cursor", cursor)
 				break tail
@@ -216,20 +288,33 @@ func (s *Server) Follow(ctx context.Context) error {
 			}
 		}
 	}
+	if fs.stopRequested() {
+		// Promotion stopped the loop; the server is about to become a
+		// leader, not shut down.
+		return nil
+	}
 	return ctx.Err()
 }
 
 // followBootstrap downloads the leader's bootstrap stream and installs it,
-// replacing the local registry wholesale: snapshots are installed through
-// the shared installSnapshot path, and graphs the leader no longer has are
-// dropped. It returns the covered-LSN map (for replayRecord's skip check)
-// and the tail cursor.
+// replacing the local registry wholesale — atomically. Every record is
+// decoded and staged into a fresh map first; only after the terminator
+// frame validates does one registry swap publish it. Readers therefore see
+// the complete old registry or the complete new one, never a mix, and a
+// bootstrap that fails mid-stream leaves the old state fully intact. It
+// returns the covered-LSN map (for replayRecord's skip check) and the tail
+// cursor.
 func (s *Server) followBootstrap(ctx context.Context) (map[string]uint64, uint64, error) {
-	b, err := s.follower.client.FetchBootstrap(ctx)
+	client := s.follower.client()
+	b, err := client.FetchBootstrap(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
+	if b.From == 0 {
+		return nil, 0, errors.New("serve: bootstrap stream carries no tail cursor")
+	}
 	covered := make(map[string]uint64, len(b.Records))
+	staged := make(map[string]*entry, len(b.Records))
 	for _, rec := range b.Records {
 		var m addMeta
 		if err := json.Unmarshal(rec.Meta, &m); err != nil {
@@ -242,19 +327,39 @@ func (s *Server) followBootstrap(ctx context.Context) (map[string]uint64, uint64
 		if sm.Name != m.Name {
 			return nil, 0, fmt.Errorf("serve: bootstrap record for %q carries snapshot of %q", m.Name, sm.Name)
 		}
-		s.installSnapshot(m.Name, gs, sm, rec.LSN)
+		e := &entry{
+			name:    m.Name,
+			ppr:     newPPRCache(s.cfg.PPRCacheSize),
+			pprWait: make(map[string]*pprInflight),
+		}
+		snap := buildSnapshot(gs, sm, rec.LSN)
+		e.version.Store(snap.Version)
+		e.snap.Store(snap)
+		staged[m.Name] = e
 		covered[m.Name] = rec.LSN
 	}
+
 	s.mu.Lock()
-	for name := range s.graphs {
-		if _, ok := covered[name]; !ok {
-			delete(s.graphs, name)
+	for name, ne := range staged {
+		old, ok := s.graphs[name]
+		if !ok {
+			continue
+		}
+		// Versions never go backwards across the swap: re-installing the
+		// same log position keeps the leader's version sequence, anything
+		// else continues the local one (matching installSnapshot).
+		snap := ne.snap.Load()
+		if v := old.version.Load(); snap.Version <= v {
+			if osnap := old.snap.Load(); osnap != nil && osnap.WalLSN == snap.WalLSN {
+				snap.Version = v
+			} else {
+				snap.Version = v + 1
+			}
+			ne.version.Store(snap.Version)
 		}
 	}
+	s.graphs = staged
 	s.mu.Unlock()
-	if b.From == 0 {
-		return nil, 0, errors.New("serve: bootstrap stream carries no tail cursor")
-	}
 	return covered, b.From, nil
 }
 
@@ -285,24 +390,30 @@ type ReplStatus struct {
 	// Bootstraps counts snapshot bootstraps (1 after a clean start; more
 	// after prune- or corruption-forced re-bootstraps). TornResumes,
 	// Corruptions, and Reconnects count the respective stream failures.
+	// Reaims counts runtime leader re-aims.
 	Bootstraps  uint64 `json:"bootstraps,omitempty"`
 	TornResumes uint64 `json:"torn_resumes,omitempty"`
 	Corruptions uint64 `json:"corruptions,omitempty"`
 	Reconnects  uint64 `json:"reconnects,omitempty"`
+	Reaims      uint64 `json:"reaims,omitempty"`
 	LastError   string `json:"last_error,omitempty"`
 	// NextLSN and OldestLSN describe a leader's log window: followers
 	// tailing inside [OldestLSN, NextLSN) stream records, below it they
-	// must re-bootstrap.
+	// must re-bootstrap. Promoted marks a leader that came to the role by
+	// promotion rather than construction.
 	NextLSN   uint64 `json:"next_lsn,omitempty"`
 	OldestLSN uint64 `json:"oldest_lsn,omitempty"`
+	Promoted  bool   `json:"promoted,omitempty"`
 }
 
-// ReplStatus reports the server's replication role and progress.
+// ReplStatus reports the server's replication role and progress. The role
+// is read from the same atomics the write gate uses, so it tracks a
+// promotion the moment writes start being accepted.
 func (s *Server) ReplStatus() ReplStatus {
-	if fs := s.follower; fs != nil {
+	if fs := s.follower; fs != nil && s.gateFollower.Load() {
 		st := ReplStatus{
 			Role:        "follower",
-			Leader:      s.cfg.FollowAddr,
+			Leader:      fs.leaderAddr(),
 			State:       fs.state.Load().(string),
 			AppliedLSN:  fs.applied.Load(),
 			Records:     fs.records.Load(),
@@ -311,6 +422,7 @@ func (s *Server) ReplStatus() ReplStatus {
 			TornResumes: fs.tornResume.Load(),
 			Corruptions: fs.corrupt.Load(),
 			Reconnects:  fs.reconnects.Load(),
+			Reaims:      fs.reaims.Load(),
 			LastError:   fs.lastErr.Load().(string),
 		}
 		st.LeaderNextLSN = fs.leaderNext.Load()
@@ -322,12 +434,22 @@ func (s *Server) ReplStatus() ReplStatus {
 		}
 		return st
 	}
-	if s.wal != nil {
+	if w := s.wal.Load(); w != nil {
 		return ReplStatus{
 			Role:      "leader",
-			NextLSN:   s.wal.NextLSN(),
-			OldestLSN: s.wal.OldestLSN(),
+			NextLSN:   w.NextLSN(),
+			OldestLSN: w.OldestLSN(),
+			Promoted:  s.promoted.Load(),
 		}
 	}
 	return ReplStatus{Role: "standalone"}
+}
+
+// leaderAddr is the address mutating requests are redirected to while the
+// server is a follower.
+func (s *Server) leaderAddr() string {
+	if fs := s.follower; fs != nil {
+		return fs.leaderAddr()
+	}
+	return s.cfg.FollowAddr
 }

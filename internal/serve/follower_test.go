@@ -39,7 +39,14 @@ type leaderHarness struct {
 
 func startLeader(t *testing.T, dir string) *leaderHarness {
 	t.Helper()
-	s, _ := newDurableServer(t, durableConfig(dir))
+	return startLeaderWithConfig(t, durableConfig(dir))
+}
+
+// startLeaderWithConfig is startLeader with a caller-shaped Config (e.g.
+// residual shipping disabled).
+func startLeaderWithConfig(t *testing.T, cfg Config) *leaderHarness {
+	t.Helper()
+	s, _ := newDurableServer(t, cfg)
 	lh := &leaderHarness{srv: s}
 	lh.handler.Store(s.Handler())
 	lh.hs = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -84,7 +91,7 @@ func startFollower(t *testing.T, f *Server) context.CancelFunc {
 // has acknowledged (lead's NextLSN-1) and reports steady state.
 func waitCaughtUp(t *testing.T, lead *Server, f *Server) {
 	t.Helper()
-	head := lead.wal.NextLSN() - 1
+	head := lead.wal.Load().NextLSN() - 1
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
 		st := f.ReplStatus()
@@ -250,7 +257,7 @@ func TestFollowerKillMidCatchup(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("first follower incarnation never died")
 	}
-	if got := f1.ReplStatus().AppliedLSN; got >= lead.srv.wal.NextLSN()-1 {
+	if got := f1.ReplStatus().AppliedLSN; got >= lead.srv.wal.Load().NextLSN()-1 {
 		t.Fatalf("kill landed after catch-up finished (applied %d); test proves nothing", got)
 	}
 
@@ -487,7 +494,7 @@ func TestFollowerPruneRebootstrap(t *testing.T) {
 	if err := lead.srv.Checkpoint(); err != nil {
 		t.Fatalf("checkpoint: %v", err)
 	}
-	if oldest, applied := lead.srv.wal.OldestLSN(), f.ReplStatus().AppliedLSN; oldest <= applied+1 {
+	if oldest, applied := lead.srv.wal.Load().OldestLSN(), f.ReplStatus().AppliedLSN; oldest <= applied+1 {
 		t.Fatalf("prune did not outrun the follower (oldest %d, applied %d); test proves nothing",
 			oldest, applied)
 	}
@@ -609,7 +616,7 @@ func TestLeaderTailEndpoint(t *testing.T) {
 		t.Fatalf("in-window tail: status %d, want 200", resp.StatusCode)
 	}
 
-	head := lead.srv.wal.NextLSN()
+	head := lead.srv.wal.Load().NextLSN()
 	resp2 := get(fmt.Sprintf("/v1/wal?from=%d&wait=10ms", head))
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNoContent {

@@ -29,10 +29,13 @@ import (
 //	GET    /v1/wal?from=N                  replication: long-poll the WAL tail (leader only)
 //	GET    /v1/repl/bootstrap              replication: snapshot bootstrap stream (leader only)
 //	GET    /v1/repl/status                 replication role + progress
+//	POST   /v1/repl/promote                promote this follower to leader
+//	POST   /v1/repl/reaim                  point this follower at a new leader
 //
 // On a follower (Config.FollowAddr set) every mutating route answers 503
 // with an X-Repl-Leader header naming where writes belong; reads are served
-// from the follower's own snapshots.
+// from the follower's own snapshots. The gate is re-read per request, so a
+// promotion flips in-flight muxes from 503-follower to live leader.
 //
 // The handler chain wraps the mux with panic recovery and request logging.
 func (s *Server) Handler() http.Handler {
@@ -50,6 +53,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/wal", s.handleWALTail)
 	mux.HandleFunc("GET /v1/repl/bootstrap", s.handleReplBootstrap)
 	mux.HandleFunc("GET /v1/repl/status", s.handleReplStatus)
+	mux.HandleFunc("POST /v1/repl/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/repl/reaim", s.handleReaim)
 	// recoverer sits inside the logger so a panicking request still gets an
 	// access-log line (with the 500 the recoverer writes).
 	return requestLogger(s.log, recoverer(s.log, mux))

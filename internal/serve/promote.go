@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+
+	"repro/internal/wal"
+)
+
+// Follower promotion. A follower runs with a dormant data dir: Recover
+// leaves it untouched and Follow serves purely from memory. Promote turns
+// that follower into a durable leader in place:
+//
+//	follower ──requestStop──▶ loop drained ──adopt dir──▶ leader
+//
+//  1. Stop the tail loop at a clean record boundary and wait it out; the
+//     last applied LSN is the promotion cut.
+//  2. Open a fresh WAL in the data dir and advance its sequence to the
+//     cut, so the first post-promotion append is cut+1 — the LSN chain
+//     continues exactly where the old leader's stream stopped for us.
+//  3. Checkpoint the current registry into the new log. The snapshots ARE
+//     the history below the cut: OldestLSN lands at cut+1, so a surviving
+//     follower whose cursor is at or behind the cut gets 410 Gone from
+//     GET /v1/wal and re-bootstraps, exactly as after a deep checkpoint.
+//  4. Flip the write gate. From this point leaderOnly admits mutations,
+//     ReplStatus reports a (promoted) leader, and the WAL/bootstrap
+//     endpoints serve because s.wal is non-nil.
+//
+// Promotion is operator-driven and carries no fencing: the caller of
+// POST /v1/repl/promote asserts the old leader is dead. If it is not,
+// both accept writes and their histories diverge — see the split-brain
+// caveat in docs/ARCHITECTURE.md.
+
+// ErrNotPromotable reports a promotion or re-aim request the server's
+// current role/configuration cannot honor (HTTP 409).
+var ErrNotPromotable = errors.New("serve: not promotable")
+
+// PromoteReport is the outcome of a Promote call (and the response body of
+// POST /v1/repl/promote).
+type PromoteReport struct {
+	Role string `json:"role"`
+	// Promoted is false when the server already was a leader (an idempotent
+	// re-promote, e.g. a retried request after a dropped response).
+	Promoted bool `json:"promoted"`
+	// CutLSN is the last replicated record folded into the adopted log;
+	// NextLSN (= CutLSN+1 on a fresh promotion) is where the new leader's
+	// own history begins.
+	CutLSN  uint64 `json:"cut_lsn"`
+	NextLSN uint64 `json:"next_lsn"`
+	Graphs  int    `json:"graphs"`
+}
+
+// Promote turns a follower into a durable leader (see the package comment
+// above for the state machine). It is idempotent on an already-promoted
+// server and single-flighted: concurrent calls serialize, the first does
+// the work, the rest observe a leader.
+func (s *Server) Promote() (PromoteReport, error) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+
+	if !s.gateFollower.Load() {
+		if st := s.wal.Load(); st != nil {
+			return PromoteReport{
+				Role:     "leader",
+				CutLSN:   st.NextLSN() - 1,
+				NextLSN:  st.NextLSN(),
+				Graphs:   s.NumGraphs(),
+				Promoted: false,
+			}, nil
+		}
+		return PromoteReport{}, fmt.Errorf(
+			"%w: standalone server is not replicating from anyone", ErrNotPromotable)
+	}
+	if s.cfg.DataDir == "" {
+		return PromoteReport{}, fmt.Errorf(
+			"%w: promotion needs a data dir to adopt (start the follower with one)", ErrNotPromotable)
+	}
+
+	// Stop the tail loop at its next record boundary and wait for it to
+	// drain; after loopDone the registry has a single quiesced owner and
+	// replay mode is off.
+	fs := s.follower
+	fs.requestStop()
+	if fs.loopRunning.Load() {
+		<-fs.loopDone
+	}
+	cut := fs.applied.Load()
+
+	st, err := wal.Open(s.cfg.DataDir, wal.Options{SyncEvery: s.cfg.FsyncEvery})
+	if err != nil {
+		return PromoteReport{}, fmt.Errorf("serve: opening data dir for promotion: %w", err)
+	}
+	// The dir must be virgin: adopting one that already carries history
+	// (say, the dead leader's own files restored by mistake) would graft
+	// this follower's state onto a log that contradicts it.
+	if st.NextLSN() != 1 || len(st.Snapshots()) > 0 {
+		st.Close()
+		return PromoteReport{}, fmt.Errorf(
+			"%w: data dir %q already holds WAL state; promotion needs an empty dir",
+			ErrNotPromotable, s.cfg.DataDir)
+	}
+	if err := st.Advance(cut); err != nil {
+		st.Close()
+		return PromoteReport{}, err
+	}
+	s.wal.Store(st)
+	if err := s.Checkpoint(); err != nil {
+		// Roll the adoption back: a leader that cannot persist its opening
+		// state must not accept writes.
+		s.wal.Store(nil)
+		st.Close()
+		return PromoteReport{}, fmt.Errorf("serve: checkpointing adopted state: %w", err)
+	}
+	s.gateFollower.Store(false)
+	s.promoted.Store(true)
+	s.log.Info("promoted to leader", "cut_lsn", cut, "graphs", s.NumGraphs(),
+		"old_leader", fs.leaderAddr(), "data_dir", s.cfg.DataDir)
+	return PromoteReport{
+		Role:     "leader",
+		Promoted: true,
+		CutLSN:   cut,
+		NextLSN:  st.NextLSN(),
+		Graphs:   s.NumGraphs(),
+	}, nil
+}
+
+// Reaim points a running follower at a new leader address. The change
+// takes effect at the follower's next bootstrap or tail round; a cursor
+// that predates the new leader's log window re-bootstraps through the
+// ordinary 410/ErrPruned path, so re-aiming at a freshly promoted leader
+// needs no special handling.
+func (s *Server) Reaim(leader string) error {
+	if !s.gateFollower.Load() || s.follower == nil {
+		return fmt.Errorf("%w: only a follower can re-aim (this server is a %s)",
+			ErrNotPromotable, s.ReplStatus().Role)
+	}
+	u, err := url.Parse(leader)
+	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		return fmt.Errorf("serve: bad leader address %q: want an http(s) base URL", leader)
+	}
+	s.follower.setLeader(leader)
+	s.log.Info("follower re-aimed", "leader", leader)
+	return nil
+}
+
+// POST /v1/repl/promote
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.Promote()
+	if err != nil {
+		if errors.Is(err, ErrNotPromotable) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// POST /v1/repl/reaim  {"leader": "http://host:port"}
+func (s *Server) handleReaim(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Leader string `json:"leader"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad JSON body: %v", err))
+		return
+	}
+	if err := s.Reaim(req.Leader); err != nil {
+		if errors.Is(err, ErrNotPromotable) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"leader": req.Leader})
+}

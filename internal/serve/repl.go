@@ -33,7 +33,7 @@ const (
 )
 
 func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
-	st := s.wal
+	st := s.wal.Load()
 	if st == nil {
 		writeError(w, http.StatusServiceUnavailable,
 			"replication requires a durable leader (start with -data-dir)")
@@ -95,7 +95,14 @@ func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
 			t.Stop()
 		case <-t.C:
 		case <-r.Context().Done():
+			// Answer exactly like the timeout path. Returning with no
+			// status would make net/http emit a bare 200 with an empty
+			// body — indistinguishable on the wire from a caught-up empty
+			// stream, which a healthy client (the cancel may be server-
+			// side: shutdown, promotion) must not mistake for progress.
 			t.Stop()
+			w.Header().Set("X-Repl-Next-LSN", strconv.FormatUint(next, 10))
+			w.WriteHeader(http.StatusNoContent)
 			return
 		}
 	}
@@ -124,7 +131,7 @@ func (s *Server) handleWALTail(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReplBootstrap(w http.ResponseWriter, r *http.Request) {
-	st := s.wal
+	st := s.wal.Load()
 	if st == nil {
 		writeError(w, http.StatusServiceUnavailable,
 			"replication requires a durable leader (start with -data-dir)")
@@ -180,16 +187,20 @@ func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.ReplStatus())
 }
 
-// leaderOnly gates a mutating handler: on a follower it answers 503 with
-// the leader's address (in the body and an X-Repl-Leader header) so
-// clients can re-aim their writes.
+// leaderOnly gates a mutating handler on the server's CURRENT role, read
+// per request: while the server is a follower it answers 503 with the
+// leader's address (in the body and an X-Repl-Leader header) so clients
+// can re-aim their writes. The role is an atomic, not a mux-construction
+// decision — Promote flips it at runtime and in-flight muxes must follow.
 func (s *Server) leaderOnly(h http.HandlerFunc) http.HandlerFunc {
-	if s.cfg.FollowAddr == "" {
-		return h
-	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("X-Repl-Leader", s.cfg.FollowAddr)
-		writeError(w, http.StatusServiceUnavailable,
-			"read-only follower: send writes to the leader at "+s.cfg.FollowAddr)
+		if s.gateFollower.Load() {
+			leader := s.leaderAddr()
+			w.Header().Set("X-Repl-Leader", leader)
+			writeError(w, http.StatusServiceUnavailable,
+				"read-only follower: send writes to the leader at "+leader)
+			return
+		}
+		h(w, r)
 	}
 }

@@ -192,8 +192,9 @@ type Config struct {
 	// leader at this base URL (e.g. "http://10.0.0.1:8080"): Follow
 	// bootstraps from the leader's snapshots, tails its WAL stream, and
 	// applies records through the replay paths, while the HTTP layer
-	// rejects writes with 503 plus a leader hint. Incompatible with
-	// DataDir — a follower's durability is the leader's.
+	// rejects writes with 503 plus a leader hint. A follower never opens
+	// DataDir while following — when both are set, the directory lies
+	// dormant until Promote adopts it as the new leader's log.
 	FollowAddr string
 	// FollowPollWait is the long-poll window a follower requests per tail
 	// round (default 25s).
@@ -201,6 +202,13 @@ type Config struct {
 	// FollowBackoff is the initial reconnect backoff after a failed
 	// bootstrap or tail round, doubling up to 5s (default 200ms).
 	FollowBackoff time.Duration
+	// ShipFullVectors disables residual shipping: replicated recomputes
+	// and repairs always log the full float32 rank vector (RecRecompute /
+	// ranks_enc "full") instead of the sparse signed residual delta. The
+	// default ships residuals whenever their encoding is smaller; both
+	// forms reconstruct byte-identical follower state, so this knob exists
+	// for comparison and debugging, not correctness.
+	ShipFullVectors bool
 }
 
 // Server owns the graph registry and serves rank queries. Create one with
@@ -230,17 +238,28 @@ type Server struct {
 	pprRunFn func(*entry, [][]uint32, pcpm.PPRRunOptions) ([]*pcpm.PPRResult, error)
 
 	// wal is the durable store, set by Recover when Config.DataDir is
-	// given; nil keeps the server memory-only. During recovery replay,
-	// replaying is set and the append helpers return replayLSN (the
-	// record being replayed) instead of writing, so replayed publishes
-	// carry their original log positions. Replay is single-threaded, so
-	// these need no lock.
-	wal       *wal.Store
+	// given (or by Promote when a follower adopts its dormant data dir);
+	// nil keeps the server memory-only. It is an atomic pointer because
+	// promotion installs it at runtime while replication handlers read it
+	// per request. During recovery replay, replaying is set and the append
+	// helpers return replayLSN (the record being replayed) instead of
+	// writing, so replayed publishes carry their original log positions.
+	// Replay is single-threaded, so the replay fields need no lock.
+	wal       atomic.Pointer[wal.Store]
 	replaying bool
 	replayLSN uint64
 	// replayDriftRecomputes counts recomputes the drift budget forced
 	// during replay; Recover reports it.
 	replayDriftRecomputes int
+
+	// gateFollower is the server's current write-gating role, read per
+	// request by leaderOnly: true rejects mutations with 503 plus a leader
+	// hint. Set at construction from Config.FollowAddr, flipped false by
+	// Promote — the one runtime role transition. promoted records that the
+	// flip happened (for status), and promoteMu single-flights Promote.
+	gateFollower atomic.Bool
+	promoted     atomic.Bool
+	promoteMu    sync.Mutex
 
 	// follower holds the replication-follower machinery when
 	// Config.FollowAddr is set; see follower.go. The follower's apply
@@ -269,6 +288,7 @@ func New(cfg Config) *Server {
 	s.pprRunFn = s.runPersonalizedMisses
 	if cfg.FollowAddr != "" {
 		s.follower = newFollowerState(cfg)
+		s.gateFollower.Store(true)
 	}
 	return s
 }
@@ -660,14 +680,12 @@ func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 	old := e.snap.Load()
 	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts)
 	if err == nil {
-		// Logged with the resulting rank vector in the blob, so replay and
-		// replication followers republish this result instead of re-running
-		// the engine — recomputes happen once, here.
+		// Logged with the resulting rank vector (full, or as a signed
+		// residual delta against the parent when that is smaller), so
+		// replay and replication followers republish this result instead
+		// of re-running the engine — recomputes happen once, here.
 		var lsn uint64
-		lsn, err = s.walAppend(wal.RecRecompute,
-			recomputeMeta{Name: e.name, Parent: old.WalLSN, Options: opts,
-				Method: snap.Method, Iterations: snap.Iterations, Delta: snap.Delta},
-			s.recomputeBlob(snap))
+		lsn, err = s.walAppendRecompute(e.name, old, snap, opts)
 		if err == nil {
 			snap.WalLSN = lsn
 			e.snap.Store(snap)

@@ -34,6 +34,10 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(flipped) // damaged first record, valid bytes after it
 	marker := appendFrame(nil, 1, RecCheckpoint, []byte(`{"graphs":{}}`), nil)
 	f.Add(append(marker, fuzzSeedLog(2)...))
+	// A residual-shipped recompute record (sparse rank delta blob).
+	f.Add(appendFrame(fuzzSeedLog(1), 2, RecRankResidual,
+		[]byte(`{"name":"g","parent":1}`),
+		[]byte{1, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<20 {

@@ -22,6 +22,9 @@ func TestGenCorpus(t *testing.T) {
 		"seed_torn_header":       fuzzSeedLog(1, 2)[:11],
 		"seed_lying_length":      {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},
 		"seed_marker_then_delta": append(marker, fuzzSeedLog(2)...),
+		"seed_rank_residual": appendFrame(fuzzSeedLog(1), 2, RecRankResidual,
+			[]byte(`{"name":"g","parent":1}`),
+			[]byte{1, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f}),
 	}
 	flipped := fuzzSeedLog(1, 2)
 	flipped[len(flipped)/2] ^= 0x20

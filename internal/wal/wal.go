@@ -63,9 +63,15 @@ const (
 	// RecCheckpoint marks a completed checkpoint: every graph's snapshot
 	// was durably persisted covering all records up to the marker.
 	RecCheckpoint RecordType = 5
+	// RecRankResidual is a recompute whose blob carries only the signed
+	// residual delta against the parent snapshot's rank vector (sparse
+	// node/delta pairs) instead of the full vector; the writer guarantees
+	// exact float32 reconstruction, falling back to RecRecompute when the
+	// residual encoding is not smaller.
+	RecRankResidual RecordType = 6
 )
 
-func (t RecordType) valid() bool { return t >= RecAddGraph && t <= RecCheckpoint }
+func (t RecordType) valid() bool { return t >= RecAddGraph && t <= RecRankResidual }
 
 // Record is one decoded WAL record.
 type Record struct {
