@@ -1,0 +1,76 @@
+// Package closecheck flags discarded errors from Close and Sync calls in
+// the durability-critical packages (wal, serve). On these paths a failed
+// close or sync is a write that never reached the disk: ignoring it can
+// acknowledge an append the next crash loses, or leak a descriptor whose
+// buffered tail was dropped. Every Close/Sync error must be checked,
+// explicitly assigned, or carry a `//lint:ignore closecheck <reason>`
+// explaining why the error genuinely cannot matter (e.g. a file opened
+// read-only, where close has nothing left to flush).
+//
+// Flagged: a call to an error-returning Close or Sync whose result is
+// discarded — as a bare statement, under go, or under defer. An explicit
+// `_ = f.Close()` is not flagged: the discard is visible and greppable,
+// which is the point.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the closecheck pass, scoped to packages named wal and serve:
+// the project's durability boundary.
+var Analyzer = &lint.Analyzer{
+	Name: "closecheck",
+	Doc:  "flags unchecked errors from Close/Sync on WAL and snapshot file paths",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if name := pass.Pkg.Name(); name != "wal" && name != "serve" {
+		return nil
+	}
+	lint.Inspect(pass, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+		case *ast.GoStmt:
+			call = n.Call
+		}
+		if call == nil {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+			return true
+		}
+		if !returnsError(pass, call.Fun) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s error discarded on a durability path: check it, assign it explicitly, or //lint:ignore closecheck with the reason it cannot matter",
+			types.ExprString(call.Fun))
+		return true
+	})
+	return nil
+}
+
+// returnsError reports whether fun's signature includes an error result.
+func returnsError(pass *lint.Pass, fun ast.Expr) bool {
+	sig, ok := pass.TypesInfo.TypeOf(fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

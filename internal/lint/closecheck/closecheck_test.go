@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/closecheck"
+	"repro/internal/lint/linttest"
+)
+
+func TestCloseCheck(t *testing.T) {
+	linttest.Run(t, "testdata", closecheck.Analyzer, "wal")
+}

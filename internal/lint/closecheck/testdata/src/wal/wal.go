@@ -1,0 +1,50 @@
+// Package wal exercises the closecheck analyzer, which is scoped to
+// packages named wal and serve: Close/Sync errors discarded on the
+// durability surface are flagged; checked, explicitly discarded, and
+// annotated forms are not.
+package wal
+
+import "os"
+
+type store struct {
+	f *os.File
+}
+
+func (s *store) Sync() error { return s.f.Sync() }
+
+func bad(path string) {
+	f, _ := os.Create(path)
+	f.Close() // want `Close error discarded`
+}
+
+func badDefer(path string) {
+	f, _ := os.Create(path)
+	defer f.Close() // want `Close error discarded`
+}
+
+func badGo(s *store) {
+	go s.Sync() // want `Sync error discarded`
+}
+
+func good(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// explicitDiscard is allowed: the blank assignment is visible and
+// greppable, which is what the check wants.
+func explicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// annotated carries the documented exemption.
+func annotated(f *os.File) {
+	//lint:ignore closecheck read-only descriptor, nothing buffered to flush
+	f.Close()
+}

@@ -1,0 +1,152 @@
+// Package floatmaporder flags floating-point accumulation performed while
+// ranging over a map. Map iteration order is randomized per run, and float
+// addition is not associative, so `sum += v` inside `for range m` yields
+// ulp-level different results run to run — the exact bug class PR 8 found
+// by hand in delta.Apply, where map-order seed summation made SeedL1 (and
+// the WAL-logged repair drift downstream of it) nondeterministic. The
+// project's replication goldens promise bit-equal follower state, so every
+// such reduction must run in a deterministic order: collect the keys,
+// sort, then accumulate.
+//
+// Flagged: `+=` and `-=` (and the spelled-out `x = x + e` / `x = x - e`
+// forms) whose left-hand side is float-typed, lexically inside the body of
+// a `for range` over a map. Not flagged: accumulators declared inside the
+// loop body (they reset each iteration), and element writes indexed by the
+// loop's own key or value variables (each iteration touches its own
+// element exactly once, so order cannot matter).
+package floatmaporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the floatmaporder pass.
+var Analyzer = &lint.Analyzer{
+	Name: "floatmaporder",
+	Doc:  "flags float accumulation inside `for range` over a map (schedule-dependent reduction)",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	lint.Inspect(pass, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		xt := pass.TypesInfo.TypeOf(rng.X)
+		if xt == nil {
+			return true
+		}
+		if _, isMap := xt.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(pass, rng)
+		return true
+	})
+	return nil
+}
+
+// checkMapRange scans one map-range body for order-sensitive float sums.
+// Nested map ranges are pruned — the enclosing Inspect gives each its own
+// check, so one accumulation reports once. Nested slice/array ranges are
+// walked: an accumulation inside them still crosses the outer map's
+// iterations (the PR-8 delta.Apply bug summed over out-neighbor slices
+// inside a map range).
+func checkMapRange(pass *lint.Pass, rng *ast.RangeStmt) {
+	iterVars := rangeVarObjects(pass, rng)
+	lint.WalkExprs(rng.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && inner != rng {
+			if xt := pass.TypesInfo.TypeOf(inner.X); xt != nil {
+				if _, isMap := xt.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		var lhs ast.Expr
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			lhs = as.Lhs[0]
+		case token.ASSIGN:
+			if len(as.Lhs) != 1 {
+				return true
+			}
+			// x = x + e / x = x - e: same reduction, spelled out.
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+				return true
+			}
+			if !sameSimplePath(as.Lhs[0], bin.X) {
+				return true
+			}
+			lhs = as.Lhs[0]
+		default:
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(lhs)
+		if t == nil || !lint.IsFloat(t) {
+			return true
+		}
+		if accumulatorIsPerIteration(pass, lhs, rng, iterVars) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"float accumulation into %s inside range over map %s: map iteration order is randomized, so this sum is nondeterministic; iterate sorted keys instead",
+			types.ExprString(lhs), types.ExprString(rng.X))
+		return true
+	})
+}
+
+// rangeVarObjects resolves the range statement's key/value variables.
+func rangeVarObjects(pass *lint.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// accumulatorIsPerIteration reports whether the accumulation target cannot
+// carry state across map iterations: either it mentions the loop's own
+// key/value variables (each iteration owns its element), or its root
+// variable is declared inside the loop body (reset every iteration).
+func accumulatorIsPerIteration(pass *lint.Pass, lhs ast.Expr, rng *ast.RangeStmt, iterVars map[types.Object]bool) bool {
+	usesIterVar := false
+	ast.Inspect(lhs, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && iterVars[obj] {
+				usesIterVar = true
+			}
+		}
+		return true
+	})
+	if usesIterVar {
+		return true
+	}
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil &&
+			obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// sameSimplePath reports whether a and b render to the same ident/selector
+// path ("res.SeedL1" == "res.SeedL1").
+func sameSimplePath(a, b ast.Expr) bool {
+	pa, oka := lint.PathString(a)
+	pb, okb := lint.PathString(b)
+	return oka && okb && pa == pb
+}

@@ -1,0 +1,12 @@
+package floatmaporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/floatmaporder"
+	"repro/internal/lint/linttest"
+)
+
+func TestFloatMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", floatmaporder.Analyzer, "floatmap")
+}

@@ -1,0 +1,96 @@
+// Package floatmap exercises the floatmaporder analyzer: float reductions
+// that cross map-iteration order are flagged, deterministic forms are not.
+package floatmap
+
+import "sort"
+
+// seedMassBad is the PR-8 delta.Apply bug shape: per-edge seed mass summed
+// while ranging the changed-node map, so each seedMass cell accumulates its
+// contributions in map order — nondeterministic at the ulp level.
+func seedMassBad(changed map[uint32]bool, adj [][]uint32, w float64) []float64 {
+	seedMass := make([]float64, len(adj))
+	for u := range changed {
+		for _, v := range adj[u] {
+			seedMass[v] += w // want `float accumulation`
+		}
+	}
+	return seedMass
+}
+
+// seedMassGood is the fixed form: the keys are collected and sorted, and
+// the accumulation ranges the sorted slice — same sums, fixed order.
+func seedMassGood(changed map[uint32]bool, adj [][]uint32, w float64) []float64 {
+	touched := make([]uint32, 0, len(changed))
+	for u := range changed {
+		touched = append(touched, u)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	seedMass := make([]float64, len(adj))
+	for _, u := range touched {
+		for _, v := range adj[u] {
+			seedMass[v] += w
+		}
+	}
+	return seedMass
+}
+
+func directSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation`
+	}
+	return sum
+}
+
+// spelledOut is the same reduction without the compound operator.
+func spelledOut(m map[string]float64) float32 {
+	var sum float32
+	for _, v := range m {
+		sum = sum + float32(v) // want `float accumulation`
+	}
+	return sum
+}
+
+// intSum is fine: integer addition is associative, order cannot show.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perElement is fine: the target is indexed by the loop's own key, so each
+// iteration owns its cell and order cannot matter.
+func perElement(m, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// perIterationLocal is fine: the accumulator resets every iteration, so
+// nothing float-valued crosses map iterations.
+func perIterationLocal(m map[string][]float64) float64 {
+	var maxSum float64
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		if s > maxSum {
+			maxSum = s
+		}
+	}
+	return maxSum
+}
+
+// nested reports once, at the innermost map range that carries the sum.
+func nested(ms map[string]map[string]float64) float64 {
+	var total float64
+	for _, inner := range ms {
+		for _, v := range inner {
+			total += v // want `float accumulation`
+		}
+	}
+	return total
+}

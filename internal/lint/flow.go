@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// FlowInterp is a small abstract interpreter over Go's structured control
+// flow, shared by the path-sensitive analyzers (guardedby, walorder). It
+// walks a function body in execution order, threading an analyzer-defined
+// abstract state through every statement: branches fork a cloned state,
+// surviving paths are joined with Merge, and paths that provably leave the
+// function (return, panic, os.Exit) or jump away (break, continue, goto)
+// are dropped so their effects cannot leak past the enclosing statement.
+//
+// The abstraction is deliberately structured rather than a full CFG: it has
+// no fixed point for loops (a loop body is interpreted once from the loop's
+// entry state, and the state after the loop is the merge of the entry state
+// with the body's exit state). That is sound for the monotone facts these
+// analyzers track — "mutex held" and "append happened" — as long as Merge
+// is a conservative meet, because a fact is only believed after a statement
+// if it holds on every surviving path into it.
+type FlowInterp struct {
+	// Exec is called once per executed simple statement (ExprStmt,
+	// AssignStmt, IncDecStmt, DeclStmt, SendStmt, GoStmt, DeferStmt,
+	// ReturnStmt) and once per evaluated control-flow expression (an if/for
+	// condition, a switch tag, a range operand), with the abstract state at
+	// that point. It returns the updated state. Exec must not retain st.
+	Exec func(n ast.Node, st any) any
+	// Clone deep-copies a state for a forked path.
+	Clone func(st any) any
+	// Merge joins the states of two surviving paths; it must be a
+	// conservative meet (a fact survives only if it holds in both).
+	Merge func(a, b any) any
+}
+
+// WalkBody interprets body starting from st and returns the exit state;
+// the second result is false when no path reaches the end of body.
+func (fi *FlowInterp) WalkBody(body *ast.BlockStmt, st any) (any, bool) {
+	return fi.walkStmt(body, st)
+}
+
+// walkStmt interprets one statement. It returns the state after the
+// statement and whether execution can fall through to the next one.
+func (fi *FlowInterp) walkStmt(s ast.Stmt, st any) (any, bool) {
+	switch s := s.(type) {
+	case nil:
+		return st, true
+
+	case *ast.BlockStmt:
+		live := true
+		for _, sub := range s.List {
+			st, live = fi.walkStmt(sub, st)
+			if !live {
+				return st, false
+			}
+		}
+		return st, true
+
+	case *ast.ExprStmt:
+		st = fi.Exec(s, st)
+		return st, !isTerminatingCall(s.X)
+
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.SendStmt,
+		*ast.GoStmt, *ast.DeferStmt, *ast.EmptyStmt:
+		return fi.Exec(s, st), true
+
+	case *ast.ReturnStmt:
+		return fi.Exec(s, st), false
+
+	case *ast.BranchStmt:
+		// break/continue/goto/fallthrough: the path leaves this statement
+		// list. Dropping it is conservative for the after-loop merge (the
+		// loop rule already merges in the entry state).
+		return st, false
+
+	case *ast.LabeledStmt:
+		return fi.walkStmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		var live bool
+		st, live = fi.walkStmt(s.Init, st)
+		if !live {
+			return st, false
+		}
+		st = fi.Exec(s.Cond, st)
+		thenSt, thenLive := fi.walkStmt(s.Body, fi.Clone(st))
+		elseSt, elseLive := st, true
+		if s.Else != nil {
+			elseSt, elseLive = fi.walkStmt(s.Else, fi.Clone(st))
+		}
+		switch {
+		case thenLive && elseLive:
+			return fi.Merge(thenSt, elseSt), true
+		case thenLive:
+			return thenSt, true
+		case elseLive:
+			return elseSt, true
+		}
+		return st, false
+
+	case *ast.ForStmt:
+		var live bool
+		st, live = fi.walkStmt(s.Init, st)
+		if !live {
+			return st, false
+		}
+		if s.Cond != nil {
+			st = fi.Exec(s.Cond, st)
+		}
+		bodySt, bodyLive := fi.walkStmt(s.Body, fi.Clone(st))
+		if bodyLive {
+			bodySt, _ = fi.walkStmt(s.Post, bodySt)
+		}
+		// The loop may run zero times (or exit via break from any point),
+		// so the state after it is the conservative join with the entry.
+		if bodyLive {
+			st = fi.Merge(st, bodySt)
+		}
+		// `for { ... }` with no condition only exits via break/return;
+		// treating it as fallthrough-with-entry-state stays conservative.
+		return st, true
+
+	case *ast.RangeStmt:
+		st = fi.Exec(s.X, st)
+		if bodySt, bodyLive := fi.walkStmt(s.Body, fi.Clone(st)); bodyLive {
+			st = fi.Merge(st, bodySt)
+		}
+		return st, true
+
+	case *ast.SwitchStmt:
+		var live bool
+		st, live = fi.walkStmt(s.Init, st)
+		if !live {
+			return st, false
+		}
+		if s.Tag != nil {
+			st = fi.Exec(s.Tag, st)
+		}
+		return fi.walkClauses(s.Body, st, true)
+
+	case *ast.TypeSwitchStmt:
+		var live bool
+		st, live = fi.walkStmt(s.Init, st)
+		if !live {
+			return st, false
+		}
+		st, _ = fi.walkStmt(s.Assign, st)
+		return fi.walkClauses(s.Body, st, true)
+
+	case *ast.SelectStmt:
+		return fi.walkClauses(s.Body, st, false)
+
+	default:
+		// Unknown statement kind: pass the state through unchanged.
+		return st, true
+	}
+}
+
+// walkClauses interprets the case clauses of a switch or select body. With
+// mayFallPast set (switch without default), the entry state joins the
+// merge because no clause may match.
+func (fi *FlowInterp) walkClauses(body *ast.BlockStmt, st any, mayFallPast bool) (any, bool) {
+	var out any
+	outLive := false
+	hasDefault := false
+	for _, clause := range body.List {
+		caseSt := fi.Clone(st)
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				caseSt = fi.Exec(e, caseSt)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			var live bool
+			caseSt, live = fi.walkStmt(c.Comm, caseSt)
+			if !live {
+				continue
+			}
+			stmts = c.Body
+		default:
+			continue
+		}
+		live := true
+		for _, sub := range stmts {
+			caseSt, live = fi.walkStmt(sub, caseSt)
+			if !live {
+				break
+			}
+		}
+		if live {
+			if !outLive {
+				out, outLive = caseSt, true
+			} else {
+				out = fi.Merge(out, caseSt)
+			}
+		}
+	}
+	if mayFallPast && !hasDefault {
+		if !outLive {
+			return st, true
+		}
+		return fi.Merge(out, fi.Clone(st)), true
+	}
+	if !outLive {
+		return st, false
+	}
+	return out, true
+}
+
+// isTerminatingCall reports whether expr is a call that never returns:
+// panic, os.Exit, log.Fatal*, runtime.Goexit, or a testing Fatal.
+func isTerminatingCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fn.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln",
+			"t.Fatal", "t.Fatalf", "b.Fatal", "b.Fatalf":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/guardedby"
+	"repro/internal/lint/linttest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	linttest.Run(t, "testdata", guardedby.Analyzer, "guarded")
+}

@@ -1,0 +1,106 @@
+// Package guarded exercises the guardedby analyzer: annotated fields,
+// path-sensitive lock tracking, and every escape hatch.
+package guarded
+
+import "sync"
+
+type registry struct {
+	mu sync.RWMutex
+	// items is the registry map.
+	items map[string]int // guarded by mu
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// get holds the read lock through a defer: reads are satisfied by RLock.
+func (r *registry) get(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.items[name]
+}
+
+func (r *registry) getUnlocked(name string) int {
+	return r.items[name] // want `guarded by r.mu`
+}
+
+func (r *registry) putReadLocked(name string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.items[name] = v // want `requires r.mu held exclusively`
+}
+
+func (r *registry) put(name string, v int) {
+	r.mu.Lock()
+	r.items[name] = v
+	r.mu.Unlock()
+}
+
+// earlyReturn unlocks on the error path and returns; the analysis drops
+// that dead path, so the access after the branch is still covered.
+func (c *counter) earlyReturn(abort bool) int {
+	c.mu.Lock()
+	if abort {
+		c.mu.Unlock()
+		return -1
+	}
+	c.n++
+	c.mu.Unlock()
+	return 0
+}
+
+// branchLeak locks on only one path: the access after the join is not
+// covered on the other.
+func (c *counter) branchLeak(flip bool) {
+	if flip {
+		c.mu.Lock()
+	}
+	c.n++ // want `not held on every path`
+	if flip {
+		c.mu.Unlock()
+	}
+}
+
+// bumpLocked relies on the naming convention: *Locked methods are called
+// with the receiver's mutexes already held.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// bumpHeld relies on the explicit directive instead.
+//
+//lint:holds c.mu
+func (c *counter) bumpHeld() {
+	c.n++
+}
+
+// newCounter owns its fresh allocation: constructors fill unshared values
+// without locks.
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// asyncBad spawns a goroutine inside the critical section; the literal does
+// not inherit the lock, because it runs whenever the scheduler pleases.
+func (c *counter) asyncBad() *sync.WaitGroup {
+	var wg sync.WaitGroup
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.n++ // want `not held on every path`
+	}()
+	return &wg
+}
+
+// replayStyle documents a deliberate unlocked access with the project's
+// ignore directive; the driver suppresses the finding.
+func (c *counter) replayStyle() {
+	//lint:ignore guardedby single-threaded replay, no concurrent reader exists yet
+	c.n++
+}

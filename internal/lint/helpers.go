@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PathString renders an ident/selector chain ("s.follower.mu") and reports
+// whether e is such a simple path. Parentheses are looked through; calls,
+// indexing, and dereferences make the path non-simple.
+func PathString(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.ParenExpr:
+		return PathString(e.X)
+	case *ast.SelectorExpr:
+		base, ok := PathString(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	}
+	return "", false
+}
+
+// IsNamedType reports whether t (after stripping one level of pointer) is
+// the named type pkgName.typeName. Matching by package *name* rather than
+// full import path lets the analyzers fire both on the real packages
+// (repro/internal/serve) and on the linttest fixtures (testdata "serve").
+func IsNamedType(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == typeName &&
+		obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// IsFloat reports whether t's underlying type is a floating-point kind.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// WalkExprs visits n and its children in pre-order like ast.Inspect, but
+// does not descend into function literals: their bodies execute at some
+// other time (or never), so statement-order analyses must treat them as
+// separate functions.
+func WalkExprs(n ast.Node, fn func(ast.Node) bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// FuncBodies calls fn for every function body in the pass: declarations
+// and function literals alike, each as its own scope. Analyzers using it
+// must skip nested FuncLit subtrees while walking one body (WalkExprs and
+// FlowInterp already do), since each literal gets its own fn call. The
+// enclosing declaration rides along for literals too (nil in package-level
+// variable initializers), so analyzers can consult its doc comment or name.
+func FuncBodies(pass *Pass, fn func(decl *ast.FuncDecl, body *ast.BlockStmt, isLit bool)) {
+	for _, f := range pass.Files {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+				if n.Body != nil {
+					fn(n, n.Body, false)
+				}
+			case *ast.FuncLit:
+				fn(enclosing, n.Body, true)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	names  map[string]bool // analyzer names it silences
+	reason string
+}
+
+const ignorePrefix = "//lint:ignore "
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// The returned map is keyed by (filename, line) of the directive itself;
+// a directive suppresses findings on its own line and on the line below,
+// so both a trailing comment and a comment on its own line work:
+//
+//	risky()            //lint:ignore walorder replay path, record owns an LSN
+//
+//	//lint:ignore guardedby constructor, the value is not shared yet
+//	risky()
+//
+// Malformed directives (missing analyzer list or missing reason) are
+// reported as findings so they cannot silently suppress nothing.
+func collectIgnores(pkg *Package, report func(Diagnostic)) map[[2]any]*ignoreDirective {
+	ignores := make(map[[2]any]*ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, strings.TrimSpace(ignorePrefix)) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, strings.TrimSpace(ignorePrefix)))
+				nameList, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if nameList == "" || reason == "" {
+					report(Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer>[,<analyzer>...] <reason>\"",
+					})
+					continue
+				}
+				d := &ignoreDirective{names: make(map[string]bool), reason: reason}
+				for _, n := range strings.Split(nameList, ",") {
+					d.names[strings.TrimSpace(n)] = true
+				}
+				ignores[[2]any{pos.Filename, pos.Line}] = d
+			}
+		}
+	}
+	return ignores
+}
+
+// applyIgnores drops diagnostics suppressed by an ignore directive on the
+// same or the preceding line, and appends findings for malformed directives.
+func applyIgnores(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	ignores := collectIgnores(pkg, func(d Diagnostic) { out = append(out, d) })
+	for _, d := range diags {
+		suppressed := false
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if ig, ok := ignores[[2]any{d.Pos.Filename, line}]; ok && ig.names[d.Analyzer] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn for
+// each node; fn returning false prunes the subtree. The little sibling of
+// x/tools' inspector, sufficient for these analyzers.
+func Inspect(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, fn)
+	}
+}

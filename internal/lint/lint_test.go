@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parsePkg builds a Package with syntax only — applyIgnores never consults
+// type information.
+func parsePkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "x", Fset: fset, Files: []*ast.File{f}, TypesInfo: NewTypesInfo()}
+}
+
+func diagAt(pkg *Package, analyzer string, line int) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: "x.go", Line: line},
+		Message:  "synthetic finding",
+	}
+}
+
+func TestIgnoreSameLine(t *testing.T) {
+	pkg := parsePkg(t, `package x
+func f() {
+	risky() //lint:ignore walorder replay path, already durable
+}
+func risky() {}
+`)
+	out := applyIgnores(pkg, []Diagnostic{diagAt(pkg, "walorder", 3)})
+	if len(out) != 0 {
+		t.Fatalf("same-line directive should suppress, got %v", out)
+	}
+}
+
+func TestIgnoreLineAbove(t *testing.T) {
+	pkg := parsePkg(t, `package x
+func f() {
+	//lint:ignore guardedby constructor, value not shared yet
+	risky()
+}
+func risky() {}
+`)
+	out := applyIgnores(pkg, []Diagnostic{diagAt(pkg, "guardedby", 4)})
+	if len(out) != 0 {
+		t.Fatalf("line-above directive should suppress, got %v", out)
+	}
+}
+
+func TestIgnoreWrongAnalyzer(t *testing.T) {
+	pkg := parsePkg(t, `package x
+func f() {
+	risky() //lint:ignore walorder replay path
+}
+func risky() {}
+`)
+	out := applyIgnores(pkg, []Diagnostic{diagAt(pkg, "closecheck", 3)})
+	if len(out) != 1 {
+		t.Fatalf("directive for another analyzer must not suppress, got %v", out)
+	}
+}
+
+func TestIgnoreMultipleAnalyzers(t *testing.T) {
+	pkg := parsePkg(t, `package x
+func f() {
+	risky() //lint:ignore walorder,closecheck both are deliberate here
+}
+func risky() {}
+`)
+	out := applyIgnores(pkg, []Diagnostic{
+		diagAt(pkg, "walorder", 3),
+		diagAt(pkg, "closecheck", 3),
+	})
+	if len(out) != 0 {
+		t.Fatalf("comma list should suppress both, got %v", out)
+	}
+}
+
+func TestIgnoreWithoutReasonIsReported(t *testing.T) {
+	pkg := parsePkg(t, `package x
+func f() {
+	risky() //lint:ignore walorder
+}
+func risky() {}
+`)
+	out := applyIgnores(pkg, []Diagnostic{diagAt(pkg, "walorder", 3)})
+	// The reasonless directive must not suppress, and must itself be
+	// reported as a lintdirective finding.
+	var sawDirective, sawOriginal bool
+	for _, d := range out {
+		switch d.Analyzer {
+		case "lintdirective":
+			sawDirective = true
+			if !strings.Contains(d.Message, "malformed") {
+				t.Errorf("unexpected directive message %q", d.Message)
+			}
+		case "walorder":
+			sawOriginal = true
+		}
+	}
+	if !sawDirective || !sawOriginal {
+		t.Fatalf("want malformed-directive finding AND unsuppressed original, got %v", out)
+	}
+}
+
+// TestRunAnalyzersOrdersAndSuppresses drives the full driver with a
+// synthetic analyzer: findings come back sorted, suppressed lines dropped.
+func TestRunAnalyzersOrdersAndSuppresses(t *testing.T) {
+	pkg := parsePkg(t, `package x
+func b() {}
+func a() {} //lint:ignore probe declaration deliberately reported
+`)
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports every function declaration",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Message != "func b" {
+		t.Fatalf("want only the unsuppressed finding for b, got %v", diags)
+	}
+}

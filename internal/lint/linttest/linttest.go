@@ -1,0 +1,247 @@
+// Package linttest is the project's analysistest: it loads a testdata
+// package, runs one analyzer over it through the real driver (ignore
+// directives included), and compares the diagnostics against `// want`
+// expectations embedded in the source.
+//
+// Layout mirrors x/tools: each analyzer keeps fixture packages under
+// testdata/src/<importpath>/, and the fixtures may import each other by
+// those paths (plus anything in the standard library). An expectation is a
+// comment on the offending line holding one or more quoted regular
+// expressions:
+//
+//	for range m { sum += v } // want `float accumulation`
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched by at least one diagnostic.
+package linttest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads testdata/src/<path> for each path (testdata is resolved
+// relative to the caller's working directory, i.e. the analyzer's package
+// directory under `go test`) and checks a's diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	ld := &loader{
+		root:    filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*types.Package),
+		exports: make(map[string]string),
+	}
+	ld.imp = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+	for _, path := range paths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, ld.fset, pkg, diags)
+	}
+}
+
+// loader type-checks testdata packages from source, resolving non-testdata
+// imports through `go list -export` compiler export data (standard library
+// and module packages alike — hermetic, no network).
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	imp     types.Importer
+	pkgs    map[string]*types.Package // memoized testdata packages
+	exports map[string]string         // import path -> export data file
+}
+
+func (ld *loader) load(path string) (*lint.Package, error) {
+	dir := filepath.Join(ld.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files under %s", dir)
+	}
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: (*testdataImporter)(ld)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[path] = tpkg
+	return &lint.Package{
+		PkgPath:   path,
+		Dir:       dir,
+		Fset:      ld.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// testdataImporter resolves imports for testdata packages: sibling fixture
+// packages from source, everything else via export data.
+type testdataImporter loader
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(ti)
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.root, path)); err == nil {
+		lp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Types, nil
+	}
+	return ld.imp.Import(path)
+}
+
+// lookupExport resolves one non-testdata import path to its compiler
+// export data, shelling out to `go list` on first sight of a path.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	if f, ok := ld.exports[path]; ok {
+		return os.Open(f)
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-f", "{{.ImportPath}}={{.Export}}", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.Bytes())
+	}
+	for line := range strings.Lines(string(out)) {
+		k, v, ok := strings.Cut(strings.TrimSpace(line), "=")
+		if ok && v != "" {
+			ld.exports[k] = v
+		}
+	}
+	f, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// expectation is one parsed want pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts want expectations from the fixture comments.
+func parseWants(t *testing.T, fset *token.FileSet, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a space-separated sequence of Go string literals
+// (double- or back-quoted).
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted strings, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		lit := s[:end+2]
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want literal %s: %v", pos, lit, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+// checkWants cross-matches diagnostics against expectations.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, pkg)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

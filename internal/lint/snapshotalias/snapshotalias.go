@@ -1,0 +1,197 @@
+// Package snapshotalias flags writes into slices reached from a
+// serve.Snapshot. A snapshot is published by storing a pointer into an
+// atomic.Pointer; from that moment concurrent readers hold references to
+// its rank vector, top-k prefix, and graph adjacency arrays, and any write
+// into those arrays is a data race that silently corrupts served answers.
+// The serving contract is copy-on-write: build a fresh snapshot, publish
+// it whole.
+//
+// Flagged, anywhere a Snapshot is in scope:
+//   - element writes through a snapshot-reaching chain:
+//     snap.Ranks[i] = x, snap.Graph.Adj[j]++, e.snap.Load().Ranks[i] -= y
+//   - writes into slices returned by snapshot accessors:
+//     snap.TopK(5)[0] = entry
+//   - copy with a snapshot-reaching destination: copy(snap.Ranks, fresh)
+//   - the same writes through a local alias: r := snap.Ranks; r[i] = x
+//
+// Alias tracking is intra-function and syntactic; an alias laundered
+// through a helper call escapes the net (reviewers still own that), and a
+// genuine copy (append([]T(nil), s...), slices.Clone) is recognized and
+// exempt. Snapshot construction before publish legitimately fills fields;
+// whole-field assignment (snap.Ranks = vec) is therefore not flagged —
+// only element writes, which are exactly the mutations that alias into
+// state a reader may already hold.
+package snapshotalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the snapshotalias pass.
+var Analyzer = &lint.Analyzer{
+	Name: "snapshotalias",
+	Doc:  "flags writes into rank/adjacency slices reached from a serve.Snapshot (published snapshots are immutable)",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	lint.FuncBodies(pass, func(_ *ast.FuncDecl, body *ast.BlockStmt, _ bool) {
+		checkFunc(pass, body)
+	})
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, body *ast.BlockStmt) {
+	tainted := taintedLocals(pass, body)
+	reaches := func(e ast.Expr) bool { return reachesSnapshot(pass, tainted, e) }
+
+	lint.WalkExprs(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportElementWrite(pass, lhs, reaches)
+			}
+		case *ast.IncDecStmt:
+			reportElementWrite(pass, n.X, reaches)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if isBuiltin(pass, id) && reaches(n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"copy into %s writes a slice reached from a serve.Snapshot: published snapshots are immutable, build a fresh slice instead",
+						types.ExprString(n.Args[0]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportElementWrite flags lhs when it is an element write (index or
+// dereference at the end of the chain) into snapshot-reached memory.
+func reportElementWrite(pass *lint.Pass, lhs ast.Expr, reaches func(ast.Expr) bool) {
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	// Writing into a map reached from a snapshot would be just as bad, but
+	// snapshots hold none; restrict to slices/arrays to keep the message
+	// honest.
+	bt := pass.TypesInfo.TypeOf(idx.X)
+	if bt == nil {
+		return
+	}
+	switch bt.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+	default:
+		return
+	}
+	if reaches(idx.X) {
+		pass.Reportf(lhs.Pos(),
+			"write into %s mutates memory reached from a serve.Snapshot: published snapshots are immutable, copy-on-write instead",
+			types.ExprString(lhs))
+	}
+}
+
+// reachesSnapshot reports whether e's evaluation chain passes through a
+// value of type serve.Snapshot (or a tainted local alias of one).
+func reachesSnapshot(pass *lint.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if t := pass.TypesInfo.TypeOf(expr); t != nil && lint.IsNamedType(t, "serve", "Snapshot") {
+			found = true
+			return false
+		}
+		if id, ok := expr.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil && tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintedLocals collects local variables assigned (anywhere in the
+// function, flow-insensitively) from a snapshot-reaching slice expression:
+// r := snap.Ranks, top := snap.TopK(8). Recognized copies — append onto a
+// non-snapshot base, slices.Clone — do not taint. The set is closed
+// transitively so r2 := r is caught too.
+func taintedLocals(pass *lint.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for {
+		grew := false
+		lint.WalkExprs(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil || tainted[obj] {
+					continue
+				}
+				rhs := ast.Unparen(as.Rhs[i])
+				if t := pass.TypesInfo.TypeOf(rhs); t == nil {
+					continue
+				} else if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				if isRecognizedCopy(pass, rhs) {
+					continue
+				}
+				if reachesSnapshot(pass, tainted, rhs) {
+					tainted[obj] = true
+					grew = true
+				}
+			}
+			return true
+		})
+		if !grew {
+			return tainted
+		}
+	}
+}
+
+// isRecognizedCopy reports whether call is an idiom that yields freshly
+// allocated backing: append with a non-snapshot first argument, or
+// slices.Clone.
+func isRecognizedCopy(pass *lint.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		// append(nilOrFresh, snapSlice...) copies; append(snapSlice, x)
+		// aliases (and may write shared backing) — only the base decides.
+		if fn.Name == "append" && isBuiltin(pass, fn) && len(call.Args) > 0 {
+			return !reachesSnapshot(pass, nil, call.Args[0])
+		}
+		if fn.Name == "make" && isBuiltin(pass, fn) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok && pkg.Name == "slices" &&
+			(fn.Sel.Name == "Clone" || fn.Sel.Name == "Concat") {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuiltin(pass *lint.Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok
+}

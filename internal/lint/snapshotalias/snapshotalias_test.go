@@ -1,0 +1,12 @@
+package snapshotalias_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/snapshotalias"
+)
+
+func TestSnapshotAlias(t *testing.T) {
+	linttest.Run(t, "testdata", snapshotalias.Analyzer, "snapuse")
+}

@@ -1,0 +1,18 @@
+// Package serve is a fixture mirror of the real serving package: the
+// snapshotalias analyzer matches the Snapshot type by package name, so this
+// testdata package stands in for repro/internal/serve.
+package serve
+
+type Graph struct {
+	Adj []uint32
+}
+
+type Snapshot struct {
+	Graph *Graph
+	Ranks []float32
+	topk  []uint32
+}
+
+// TopK returns a prefix of the cached top-k ranking — aliasing the
+// snapshot's own array, exactly like the real accessor.
+func (s *Snapshot) TopK(k int) []uint32 { return s.topk[:k] }

@@ -1,0 +1,47 @@
+// Package snapuse exercises the snapshotalias analyzer: element writes
+// into memory reached from a published serve.Snapshot are flagged; fresh
+// copies and construction of unpublished state are not.
+package snapuse
+
+import "serve"
+
+func mutateDirect(snap *serve.Snapshot, i int) {
+	snap.Ranks[i] = 0   // want `write into`
+	snap.Graph.Adj[i]++ // want `write into`
+}
+
+func mutateViaAccessor(snap *serve.Snapshot) {
+	snap.TopK(5)[0] = 7 // want `write into`
+}
+
+func mutateViaAlias(snap *serve.Snapshot, i int) {
+	r := snap.Ranks
+	r[i] = 1 // want `write into`
+	r2 := r
+	r2[i] = 2 // want `write into`
+}
+
+func copyInto(snap *serve.Snapshot, fresh []float32) {
+	copy(snap.Ranks, fresh) // want `copy into`
+}
+
+// readOnly is fine: loads never mutate shared backing.
+func readOnly(snap *serve.Snapshot) float32 {
+	return snap.Ranks[0]
+}
+
+// freshCopy is fine: append onto a nil base allocates new backing, so the
+// writes land on this function's own memory.
+func freshCopy(snap *serve.Snapshot, i int) []float32 {
+	r := append([]float32(nil), snap.Ranks...)
+	r[i] = 0
+	return r
+}
+
+// buildFresh is fine: filling a snapshot before it is published is the
+// copy-on-write pattern the analyzer exists to protect.
+func buildFresh(g *serve.Graph, n int) *serve.Snapshot {
+	ranks := make([]float32, n)
+	ranks[0] = 1
+	return &serve.Snapshot{Graph: g, Ranks: ranks}
+}

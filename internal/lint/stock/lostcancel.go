@@ -1,0 +1,75 @@
+package stock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Lostcancel flags discarding the cancel function returned by
+// context.WithCancel, WithTimeout, or WithDeadline into the blank
+// identifier. The dropped CancelFunc can never run, so the context's timer
+// and child goroutines leak until the parent is done. This is the
+// highest-frequency finding of the x/tools lostcancel pass; the CFG-based
+// original additionally proves cancel unreached on some path to a return,
+// which this edition does not attempt (Go already rejects a never-used
+// cancel variable at compile time).
+var Lostcancel = &lint.Analyzer{
+	Name: "lostcancel",
+	Doc:  "flags context.WithCancel/WithTimeout/WithDeadline cancel functions discarded to _",
+	Run:  runLostcancel,
+}
+
+func runLostcancel(pass *lint.Pass) error {
+	lint.Inspect(pass, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) {
+			return true
+		}
+		// ctx, cancel := context.WithX(...) is the only shape: the two
+		// results cannot be split.
+		if len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isContextWithCancel(pass, call) {
+			return true
+		}
+		if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(id.Pos(),
+				"the cancel function returned by %s is discarded: the context's resources leak until the parent is done; call it (usually deferred)",
+				callName(call))
+		}
+		return true
+	})
+	return nil
+}
+
+func isContextWithCancel(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+	default:
+		return false
+	}
+	pkg, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(pkg).(*types.PkgName)
+	return ok && pn.Imported().Path() == "context"
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if pkg, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return pkg.Name + "." + sel.Sel.Name
+		}
+	}
+	return "context.WithCancel"
+}

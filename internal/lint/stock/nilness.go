@@ -1,0 +1,124 @@
+package stock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Nilness flags dereferences of a pointer on a branch where a comparison
+// just proved it nil: `if p == nil { use p.f }` and the mirrored
+// `if p != nil { } else { use p.f }`. This is the syntactic core of the
+// x/tools nilness pass; the SSA original additionally tracks nil facts
+// through phi nodes and across blocks, which this edition does not attempt.
+// A branch that reassigns the tested variable is skipped entirely.
+var Nilness = &lint.Analyzer{
+	Name: "nilness",
+	Doc:  "flags dereference of a pointer on a branch that proved it nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *lint.Pass) error {
+	lint.Inspect(pass, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		obj, eq := nilTest(pass, ifs.Cond)
+		if obj == nil {
+			return true
+		}
+		var branch ast.Stmt
+		if eq {
+			branch = ifs.Body
+		} else {
+			branch = ifs.Else
+		}
+		if branch == nil || assignsTo(pass, branch, obj) {
+			return true
+		}
+		reportDerefs(pass, branch, obj)
+		return true
+	})
+	return nil
+}
+
+// nilTest decodes `x == nil` / `x != nil` where x is a pointer-typed
+// variable, returning its object and whether the comparison was ==.
+func nilTest(pass *lint.Pass, cond ast.Expr) (types.Object, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(pass, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(pass, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return nil, false
+	}
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return nil, false
+	}
+	return obj, bin.Op == token.EQL
+}
+
+func isNilIdent(pass *lint.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// assignsTo reports whether the branch writes obj (making later uses safe
+// from this pass's point of view).
+func assignsTo(pass *lint.Pass, branch ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportDerefs flags *x and x.f uses of the proven-nil pointer within the
+// branch (skipping nested function literals, which run later if at all).
+func reportDerefs(pass *lint.Pass, branch ast.Stmt, obj types.Object) {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.ObjectOf(id) == obj
+	}
+	lint.WalkExprs(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if isObj(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference: *%s on a branch where %s == nil", obj.Name(), obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if isObj(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference: %s.%s on a branch where %s == nil", obj.Name(), n.Sel.Name, obj.Name())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,99 @@
+package stock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Shadow flags a `:=` that redeclares a variable of an enclosing function
+// scope when the outer variable is still read after the shadowing scope
+// ends — the case where the shadow plausibly swallowed an assignment the
+// later read depended on (the classic `if x, err := f(); ...` losing err).
+// Like the x/tools pass, declarations whose outer variable is never used
+// again are not flagged: harmless re-use of a name is idiomatic Go.
+var Shadow = &lint.Analyzer{
+	Name: "shadow",
+	Doc:  "flags := declarations that shadow an outer variable still used after the inner scope ends",
+	Run:  runShadow,
+}
+
+func runShadow(pass *lint.Pass) error {
+	// Idents that are pure write targets (LHS of = or :=): overwriting the
+	// outer variable after the shadow scope closes is not an observation of
+	// the hidden value, so those positions must not count as "used again".
+	writes := make(map[*ast.Ident]bool)
+	lint.Inspect(pass, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+		}
+		return true
+	})
+	lint.Inspect(pass, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			checkShadow(pass, id, writes)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkShadow(pass *lint.Pass, id *ast.Ident, writes map[*ast.Ident]bool) {
+	inner, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok || inner.Parent() == nil || inner.Parent().Parent() == nil {
+		return
+	}
+	// Look the name up starting from the scope ENCLOSING the declaration:
+	// whatever it finds is what this := hides.
+	_, outerObj := inner.Parent().Parent().LookupParent(id.Name, id.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == inner {
+		return
+	}
+	// Only function-local shadowing: hiding a package-level name (or an
+	// import) is vet's business, and shadowing across functions is
+	// impossible.
+	if outer.Parent() == pass.Pkg.Scope() || outer.IsField() {
+		return
+	}
+	// Dangerous only if the outer variable is read again after the shadow's
+	// scope is gone, with no intervening overwrite — otherwise nothing
+	// observable was hidden. The kill test is positional, not path-based: a
+	// conditional overwrite between the scope end and the read suppresses
+	// the report even though some path skips it, trading missed reports for
+	// the quiet that lets the pass gate CI.
+	innerScopeEnd := inner.Parent().End()
+	for useID, useObj := range pass.TypesInfo.Uses {
+		if useObj != outer || useID.Pos() <= innerScopeEnd || writes[useID] {
+			continue
+		}
+		killed := false
+		for wID, wObj := range pass.TypesInfo.Uses {
+			if wObj == outer && writes[wID] && wID.Pos() > innerScopeEnd && wID.Pos() < useID.Pos() {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			pass.Reportf(id.Pos(),
+				"declaration of %q shadows the %s declared at %s, which is read again at %s",
+				id.Name, id.Name,
+				pass.Fset.Position(outer.Pos()), pass.Fset.Position(useID.Pos()))
+			return
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package cancel exercises the stock lostcancel edition.
+package cancel
+
+import (
+	"context"
+	"time"
+)
+
+func bad(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `cancel function`
+	return ctx
+}
+
+func badTimeout(parent context.Context) context.Context {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want `cancel function`
+	return ctx
+}
+
+func good(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+func goodDeferred(parent context.Context) error {
+	ctx, cancel := context.WithDeadline(parent, time.Now().Add(time.Second))
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}

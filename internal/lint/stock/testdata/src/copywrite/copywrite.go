@@ -1,0 +1,48 @@
+// Package copywrite exercises the stock unusedwrite edition.
+package copywrite
+
+type item struct {
+	count int
+	name  string
+}
+
+func bad(items []item) {
+	for _, it := range items {
+		it.count++ // want `write to it.count is lost`
+	}
+}
+
+// byIndex is the fix: index into the collection itself.
+func byIndex(items []item) {
+	for i := range items {
+		items[i].count++
+	}
+}
+
+// scratch is fine: the copy is read back after the write, so it is a
+// deliberate local scratch value.
+func scratch(items []item) []item {
+	var out []item
+	for _, it := range items {
+		it.count = 0
+		out = append(out, it)
+	}
+	return out
+}
+
+// Bump writes through a value receiver: the caller's struct never changes.
+func (it item) Bump() {
+	it.count++ // want `write to it.count is lost`
+}
+
+// WithName is the builder idiom: the modified copy is returned, so the
+// write is observed.
+func (it item) WithName(n string) item {
+	it.name = n
+	return it
+}
+
+// SetCount is the fix for Bump: a pointer receiver.
+func (it *item) SetCount(n int) {
+	it.count = n
+}

@@ -1,0 +1,46 @@
+// Package nilcheck exercises the stock nilness edition.
+package nilcheck
+
+type node struct {
+	next *node
+	val  int
+}
+
+func bad(n *node) int {
+	if n == nil {
+		return n.val // want `nil dereference`
+	}
+	return n.val
+}
+
+func badElse(n *node) int {
+	if n != nil {
+		return n.val
+	} else {
+		return n.val // want `nil dereference`
+	}
+}
+
+func badStar(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference`
+	}
+	return *p
+}
+
+// reassigned is fine: the branch replaces the pointer before using it.
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+// guarded is fine: the dereference sits on the branch that proved non-nil.
+func guarded(n *node) int {
+	if n != nil {
+		return n.next.val
+	}
+	return 0
+}

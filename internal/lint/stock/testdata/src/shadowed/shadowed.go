@@ -1,0 +1,35 @@
+// Package shadowed exercises the stock shadow edition.
+package shadowed
+
+import "errors"
+
+func bad(flip bool) error {
+	err := errors.New("outer")
+	if flip {
+		err := errors.New("inner") // want `shadows the err`
+		_ = err
+	}
+	return err
+}
+
+// overwritten is fine: the outer err is rewritten after the shadow scope
+// and before the read, so nothing the shadow hid is observable.
+func overwritten(flip bool) error {
+	err := errors.New("outer")
+	if flip {
+		err := errors.New("inner")
+		_ = err
+	}
+	err = errors.New("rewritten")
+	return err
+}
+
+// neverReadAgain is fine: the outer variable is dead after the shadow.
+func neverReadAgain(flip bool) error {
+	err := errors.New("outer")
+	if err != nil && flip {
+		err := errors.New("inner")
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package stock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Unusedwrite flags field writes that land on a copy and are therefore
+// invisible to every other reference to the value. Two shapes, both lost
+// at the next iteration or return:
+//
+//	for _, e := range entries { e.Count++ }   // entries is []T, e is a copy
+//	func (s T) SetX(x int) { s.x = x }        // value receiver, s is a copy
+//
+// The SSA-based x/tools pass proves any write dead by absence of a
+// subsequent read; this edition targets the two copy idioms above, which
+// are the findings that matter in practice. A copy that is locally read
+// back after the write (accumulating into a scratch struct) is exempt.
+var Unusedwrite = &lint.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "flags field writes to range-value and value-receiver copies that no one can observe",
+	Run:  runUnusedwrite,
+}
+
+func runUnusedwrite(pass *lint.Pass) error {
+	lint.Inspect(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkCopyWrites(pass, n.Body, rangeValueCopy(pass, n), "is a copy of the range element; the write never reaches the collection")
+		case *ast.FuncDecl:
+			if obj := valueReceiver(pass, n); obj != nil && n.Body != nil {
+				checkCopyWrites(pass, n.Body, obj, "is a value receiver; the write mutates a copy the caller never sees")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// rangeValueCopy returns the range value variable's object when iterating
+// a slice/array of structs by value (the copying case); nil otherwise.
+func rangeValueCopy(pass *lint.Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Value.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	switch pass.TypesInfo.TypeOf(rng.X).Underlying().(type) {
+	case *types.Slice, *types.Array:
+	default:
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return obj
+}
+
+// valueReceiver returns the receiver object when decl is a method on a
+// struct value (not a pointer); nil otherwise.
+func valueReceiver(pass *lint.Pass, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) != 1 || len(decl.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	name := decl.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(name)
+	if obj == nil {
+		return nil
+	}
+	if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+		return nil
+	}
+	return obj
+}
+
+// checkCopyWrites reports `copyVar.field = x` / `copyVar.field++` writes in
+// body, unless the copy is also read afterwards (scratch-struct use) or its
+// address is taken (the copy itself became shared state).
+func checkCopyWrites(pass *lint.Pass, body ast.Node, copyVar types.Object, why string) {
+	if copyVar == nil {
+		return
+	}
+	isCopyField := func(e ast.Expr) *ast.SelectorExpr {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(id) != copyVar {
+			return nil
+		}
+		return sel
+	}
+	// First pass: any read of the copy (use outside a write LHS) or
+	// address-taking exempts the whole body — it is a scratch value.
+	writes := map[ast.Node]*ast.SelectorExpr{}
+	reads := 0
+	lint.WalkExprs(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel := isCopyField(lhs); sel != nil {
+					writes[n] = sel
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel := isCopyField(n.X); sel != nil {
+				writes[n] = sel
+			}
+		case *ast.UnaryExpr:
+			// &copyVar or &copyVar.field: the copy escapes, writes count.
+			if sel := isCopyField(n.X); sel != nil {
+				reads++
+			}
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == copyVar {
+				reads++
+			}
+		case *ast.Ident:
+			if pass.TypesInfo.ObjectOf(n) == copyVar && !isWriteBase(body, n) {
+				reads++
+			}
+		}
+		return true
+	})
+	if reads > 0 {
+		return
+	}
+	for stmt, sel := range writes {
+		pass.Reportf(stmt.Pos(),
+			"write to %s is lost: %s %s", types.ExprString(sel), sel.X.(*ast.Ident).Name, why)
+	}
+}
+
+// isWriteBase reports whether id appears only as the base of a field-write
+// LHS (copyVar.f = x) rather than as a genuine read.
+func isWriteBase(body ast.Node, id *ast.Ident) bool {
+	write := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && ast.Unparen(sel.X) == id {
+					write = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && ast.Unparen(sel.X) == id {
+				write = true
+			}
+		}
+		return !write
+	})
+	return write
+}

@@ -1,0 +1,68 @@
+// Package serve is a fixture mirror of the serving layer: the walorder
+// analyzer fires only in packages named serve, on publishes through an
+// atomic.Pointer[Snapshot].
+package serve
+
+import (
+	"sync/atomic"
+
+	"wal"
+)
+
+type Snapshot struct {
+	Ranks   []float32
+	Version uint64
+}
+
+type entry struct {
+	snap atomic.Pointer[Snapshot]
+}
+
+type server struct {
+	st *wal.Store
+}
+
+func (s *server) walAppendDelta(payload []byte) uint64 {
+	lsn, _ := s.st.Append(1, payload)
+	return lsn
+}
+
+// applyGood appends through the helper before publishing.
+func (s *server) applyGood(e *entry, snap *Snapshot, payload []byte) {
+	s.walAppendDelta(payload)
+	e.snap.Store(snap)
+}
+
+// applyDirect appends through the store itself; the init statement of the
+// if dominates the publish.
+func (s *server) applyDirect(e *entry, snap *Snapshot, payload []byte) {
+	if _, err := s.st.Append(2, payload); err != nil {
+		return
+	}
+	e.snap.Store(snap)
+}
+
+func (s *server) publishBad(e *entry, snap *Snapshot) {
+	e.snap.Store(snap) // want `snapshot published without a preceding WAL append`
+}
+
+// branchOnly appends on one path only: the publish after the join is not
+// dominated.
+func (s *server) branchOnly(e *entry, snap *Snapshot, payload []byte, flip bool) {
+	if flip {
+		s.walAppendDelta(payload)
+	}
+	e.snap.Store(snap) // want `snapshot published without a preceding WAL append`
+}
+
+// replayStyle is the documented exemption: the record being republished is
+// already durable, and the directive says so.
+func (s *server) replayStyle(e *entry, snap *Snapshot) {
+	//lint:ignore walorder replay path: the record came from the log, it is already durable
+	e.snap.Store(snap)
+}
+
+// otherPointer is fine: only Snapshot publishes are the WAL boundary.
+func otherPointer(p *atomic.Pointer[wal.Store], st *wal.Store) {
+	p.Store(st)
+}

@@ -1,0 +1,12 @@
+// Package wal is a fixture mirror of the real WAL store: the walorder
+// analyzer recognizes (wal.Store).Append by package and type name.
+package wal
+
+type Store struct {
+	next uint64
+}
+
+func (s *Store) Append(kind uint8, payload []byte) (uint64, error) {
+	s.next++
+	return s.next, nil
+}

@@ -1,0 +1,96 @@
+// Package walorder enforces write-ahead ordering in the serving layer: on
+// any path that publishes a snapshot (a Store call on the entry's
+// atomic.Pointer[Snapshot]), a WAL append must already have happened in
+// that function. Publishing first would expose state to readers — and to
+// followers streaming the log — that a crash could then lose, breaking the
+// recovery invariant that every served version is reconstructible from the
+// log. The check is per-function and path-sensitive: the append must
+// dominate the publish, so an append inside only one branch does not
+// satisfy a publish after the join.
+//
+// An append is a call to a walAppend* helper or to (wal.Store).Append.
+// Replay and bootstrap paths legitimately publish without appending (the
+// records they publish are already durable — they came from the log); each
+// such site carries a `//lint:ignore walorder <reason>` documenting exactly
+// that.
+package walorder
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the walorder pass. It only fires in packages named "serve":
+// the invariant is about the serving layer's publish points.
+var Analyzer = &lint.Analyzer{
+	Name: "walorder",
+	Doc:  "in serve mutation paths, a WAL append must dominate every snapshot publish",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if pass.Pkg.Name() != "serve" {
+		return nil
+	}
+	lint.FuncBodies(pass, func(_ *ast.FuncDecl, body *ast.BlockStmt, _ bool) {
+		interp := &lint.FlowInterp{
+			Exec: func(n ast.Node, st any) any {
+				appended := st.(bool)
+				lint.WalkExprs(n, func(c ast.Node) bool {
+					call, ok := c.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch {
+					case isWalAppend(pass, call):
+						appended = true
+					case isSnapshotPublish(pass, call):
+						if !appended {
+							pass.Reportf(call.Pos(),
+								"snapshot published without a preceding WAL append on this path: append first so a crash cannot lose served state (replay paths: //lint:ignore walorder <why already durable>)")
+						}
+					}
+					return true
+				})
+				return appended
+			},
+			Clone: func(st any) any { return st },
+			Merge: func(a, b any) any { return a.(bool) && b.(bool) },
+		}
+		interp.WalkBody(body, false)
+	})
+	return nil
+}
+
+// isWalAppend recognizes the project's WAL append calls: the serve-layer
+// walAppend* helpers and the store's Append method itself.
+func isWalAppend(pass *lint.Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.HasPrefix(fun.Name, "walAppend")
+	case *ast.SelectorExpr:
+		if strings.HasPrefix(fun.Sel.Name, "walAppend") {
+			return true
+		}
+		if fun.Sel.Name == "Append" {
+			return lint.IsNamedType(pass.TypesInfo.TypeOf(fun.X), "wal", "Store")
+		}
+	}
+	return false
+}
+
+// isSnapshotPublish recognizes `<ptr>.Store(snap)` where <ptr> is an
+// atomic.Pointer and snap is a serve.Snapshot: the single publication point
+// readers load from.
+func isSnapshotPublish(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Store" || len(call.Args) != 1 {
+		return false
+	}
+	if !lint.IsNamedType(pass.TypesInfo.TypeOf(sel.X), "atomic", "Pointer") {
+		return false
+	}
+	return lint.IsNamedType(pass.TypesInfo.TypeOf(call.Args[0]), "serve", "Snapshot")
+}

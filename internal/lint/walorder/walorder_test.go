@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/walorder"
+)
+
+func TestWalOrder(t *testing.T) {
+	linttest.Run(t, "testdata", walorder.Analyzer, "serve")
+}

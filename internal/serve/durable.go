@@ -305,6 +305,7 @@ func (s *Server) installSnapshot(name string, gs *graph.Snapshot, m snapMeta, ls
 			pprWait: make(map[string]*pprInflight),
 		}
 		e.version.Store(snap.Version)
+		//lint:ignore walorder recovery path: the snapshot was read back from disk, so its state is already durable at WalLSN
 		e.snap.Store(snap)
 		s.graphs[name] = e
 		s.mu.Unlock()
@@ -322,6 +323,7 @@ func (s *Server) installSnapshot(name string, gs *graph.Snapshot, m snapMeta, ls
 		}
 	}
 	e.version.Store(snap.Version)
+	//lint:ignore walorder recovery path: the snapshot was read back from disk, so its state is already durable at WalLSN
 	e.snap.Store(snap)
 	e.mu.Lock()
 	// The structure was replaced wholesale: everything shaped on the old
@@ -383,12 +385,10 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	for _, gs := range st.Snapshots() {
 		var m snapMeta
 		if err := json.Unmarshal(gs.Snap.Meta, &m); err != nil {
-			st.Close()
-			return nil, fmt.Errorf("serve: snapshot %q metadata: %w", gs.Name, err)
+			return nil, errors.Join(fmt.Errorf("serve: snapshot %q metadata: %w", gs.Name, err), st.Close())
 		}
 		if m.Name != gs.Name {
-			st.Close()
-			return nil, fmt.Errorf("serve: snapshot file for %q names graph %q", gs.Name, m.Name)
+			return nil, errors.Join(fmt.Errorf("serve: snapshot file for %q names graph %q", gs.Name, m.Name), st.Close())
 		}
 		s.installSnapshot(gs.Name, gs.Snap, m, m.LSN)
 		covered[gs.Name] = m.LSN
@@ -396,8 +396,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 		rep.Snapshots++
 	}
 	if err := st.Advance(maxLSN); err != nil {
-		st.Close()
-		return nil, err
+		return nil, errors.Join(err, st.Close())
 	}
 
 	// Phase 2: replay the log tail through the live mutation paths.
@@ -410,8 +409,7 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	s.replayLSN = 0
 	rep.DriftRecomputes = s.replayDriftRecomputes
 	if err != nil {
-		st.Close()
-		return nil, err
+		return nil, errors.Join(err, st.Close())
 	}
 	s.wal.Store(st)
 	rep.Graphs = s.NumGraphs()
@@ -575,6 +573,7 @@ func (s *Server) republishRanks(e *entry, blob []byte, typ wal.RecordType, m rec
 		ComputedAt: time.Now(),
 	}
 	snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+	//lint:ignore walorder replay path: this republishes a record already in the log (s.replayLSN), nothing new to append
 	e.snap.Store(snap)
 	e.mu.Lock()
 	e.pool.invalidate()
@@ -625,6 +624,7 @@ func (s *Server) republishDelta(e *entry, m deltaMeta, blob []byte) error {
 		ComputedAt:  time.Now(),
 	}
 	snap.topk = pcpm.TopK(snap.Ranks, min(topKCacheSize, len(snap.Ranks)))
+	//lint:ignore walorder replay path: this republishes a record already in the log (s.replayLSN), nothing new to append
 	e.snap.Store(snap)
 	e.mu.Lock()
 	// The structure changed: cached personalized answers, pooled engines,
@@ -646,6 +646,7 @@ func (s *Server) replayRecompute(e *entry, opts pcpm.Options) error {
 		return err
 	}
 	snap.WalLSN = s.replayLSN
+	//lint:ignore walorder replay path: recomputing a logged record (s.replayLSN); the append happened before the crash
 	e.snap.Store(snap)
 	e.mu.Lock()
 	e.pool.invalidate()

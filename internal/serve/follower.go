@@ -334,6 +334,7 @@ func (s *Server) followBootstrap(ctx context.Context) (map[string]uint64, uint64
 		}
 		snap := buildSnapshot(gs, sm, rec.LSN)
 		e.version.Store(snap.Version)
+		//lint:ignore walorder follower bootstrap: the record came from the leader's log, durability lives there until promotion copies it
 		e.snap.Store(snap)
 		staged[m.Name] = e
 		covered[m.Name] = rec.LSN

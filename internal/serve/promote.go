@@ -97,22 +97,19 @@ func (s *Server) Promote() (PromoteReport, error) {
 	// (say, the dead leader's own files restored by mistake) would graft
 	// this follower's state onto a log that contradicts it.
 	if st.NextLSN() != 1 || len(st.Snapshots()) > 0 {
-		st.Close()
-		return PromoteReport{}, fmt.Errorf(
+		return PromoteReport{}, errors.Join(fmt.Errorf(
 			"%w: data dir %q already holds WAL state; promotion needs an empty dir",
-			ErrNotPromotable, s.cfg.DataDir)
+			ErrNotPromotable, s.cfg.DataDir), st.Close())
 	}
 	if err := st.Advance(cut); err != nil {
-		st.Close()
-		return PromoteReport{}, err
+		return PromoteReport{}, errors.Join(err, st.Close())
 	}
 	s.wal.Store(st)
 	if err := s.Checkpoint(); err != nil {
 		// Roll the adoption back: a leader that cannot persist its opening
 		// state must not accept writes.
 		s.wal.Store(nil)
-		st.Close()
-		return PromoteReport{}, fmt.Errorf("serve: checkpointing adopted state: %w", err)
+		return PromoteReport{}, errors.Join(fmt.Errorf("serve: checkpointing adopted state: %w", err), st.Close())
 	}
 	s.gateFollower.Store(false)
 	s.promoted.Store(true)

@@ -118,20 +118,20 @@ type entry struct {
 	snap    atomic.Pointer[Snapshot]
 	version atomic.Uint64
 
-	mu       sync.Mutex // guards inflight, lastErr, ppr, pprWait, pool, structVersion
-	inflight *inflightRun
-	lastErr  string
-	ppr      *pprCache // LRU of personalized answers keyed by query hash
+	mu       sync.Mutex
+	inflight *inflightRun // guarded by mu
+	lastErr  string       // guarded by mu
+	ppr      *pprCache    // guarded by mu; LRU of personalized answers keyed by query hash
 	// pprWait holds personalized computations in flight, keyed like ppr;
 	// identical concurrent queries attach instead of recomputing.
-	pprWait map[string]*pprInflight
+	pprWait map[string]*pprInflight // guarded by mu
 	// pool holds idle personalized-PageRank engines for this graph, keyed
 	// by the snapshot version whose options shaped them; see enginePool.
-	pool enginePool
+	pool enginePool // guarded by mu
 	// structVersion counts structural mutations (edge deltas). A
 	// personalized answer computed against an older structure must not
 	// enter the cache after a mutation landed.
-	structVersion uint64
+	structVersion uint64 // guarded by mu
 	// repairEng is the reusable edge-delta repair engine (rebound to each
 	// delta's rebuilt graph instead of reallocating O(n) scratch per
 	// mutation); repairEngPart records the partition size it was built
@@ -218,13 +218,14 @@ type Server struct {
 	log     *slog.Logger
 	started time.Time
 
-	mu     sync.RWMutex // guards graphs and pending maps (not entry contents)
-	graphs map[string]*entry
+	mu sync.RWMutex // protects the registry maps, not entry contents
+	// graphs is the serving registry.
+	graphs map[string]*entry // guarded by mu
 	// pending reserves names whose ingest-time computation is still
 	// running: a duplicate ingest fails (or, with replace, waits) on the
 	// reservation instead of burning a second engine run. Each channel is
 	// closed when its ingest settles.
-	pending map[string]chan struct{}
+	pending map[string]chan struct{} // guarded by mu
 
 	// computeFn runs one PageRank computation; tests substitute it to make
 	// in-flight recomputes observable and deterministic. The decomposition

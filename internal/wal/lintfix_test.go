@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+)
+
+// closeFailFile lets everything succeed except Close: the shape of a
+// descriptor whose buffered state the kernel rejects at release time.
+type closeFailFile struct {
+	f *os.File
+}
+
+var errCloseInjected = errors.New("wal_test: injected close failure")
+
+func (cf *closeFailFile) Write(p []byte) (int, error) { return cf.f.Write(p) }
+func (cf *closeFailFile) Sync() error                 { return cf.f.Sync() }
+func (cf *closeFailFile) Truncate(sz int64) error     { return cf.f.Truncate(sz) }
+func (cf *closeFailFile) Close() error {
+	cf.f.Close()
+	return errCloseInjected
+}
+
+// TestCheckpointCloseFailureIsSticky pins the closecheck/guardedby fixes in
+// Checkpoint: a failed segment close must surface to the caller AND poison
+// the store, instead of being silently dropped on the floor (the log would
+// then keep appending past a descriptor the kernel already rejected).
+func TestCheckpointCloseFailureIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{open: func(path string) (walFile, error) {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &closeFailFile{f: f}, nil
+	}})
+	mustAppend(t, s, RecEdgeDelta, []byte(`{"name":"g"}`), nil)
+
+	err := s.Checkpoint(nil)
+	if err == nil || !errors.Is(err, errCloseInjected) {
+		t.Fatalf("Checkpoint must surface the close failure, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "closing segment") {
+		t.Fatalf("error should say what failed, got %v", err)
+	}
+
+	// The failure is sticky: the store must refuse further appends rather
+	// than acknowledge records through a rejected descriptor.
+	if _, err := s.Append(RecEdgeDelta, []byte(`{}`), nil); err == nil {
+		t.Fatal("Append after a failed close must return the sticky error")
+	}
+}
