@@ -13,6 +13,14 @@
 //     share the process, the per-endpoint allocs/op probe sees the serving
 //     layer's allocations — the number the engine-pool work optimizes.
 //
+// Adding -shard-workers N to -self swaps the monolithic in-process server
+// for a sharded deployment: N pcpm-shard worker processes are spawned on
+// loopback ports (build the binary and point -shard-bin at it), the
+// in-process server runs in coordinator mode over them, and the replay
+// measures scatter-gather serving on identical traffic to a monolithic
+// run — same seed, same schedule, directly comparable reports. Mutate
+// traffic does not compose with sharded targets (edge deltas answer 501).
+//
 // Usage:
 //
 //	pcpm-loadtest -self -nodes 100000 -ops 5000 -c 16 -o load.json
@@ -20,6 +28,7 @@
 //	pcpm-loadtest -self -mix 'topk=10,ppr=60,batch=20,recompute=5,upload=5' -seed 7
 //	pcpm-loadtest -self -mix 'topk=40,rank=10,ppr=20,mutate=20,recompute=5' -seed 7
 //	pcpm-loadtest -self -data-dir /tmp/pcpm-load -mix 'topk=40,mutate=20,restart=2'
+//	pcpm-loadtest -self -shard-workers 2 -shard-bin ./pcpm-shard -ops 3000
 //
 // The mutate kind exercises the dynamic-graph path: each mutate op POSTs a
 // small edge-insert batch to /v1/graphs/{name}/edges and then deletes the
@@ -45,6 +54,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -76,6 +87,10 @@ func main() {
 			"durable data directory for the -self server; required for restart=N mix traffic (each restart op recovers the server from it)")
 		promoteURL = flag.String("promote-url", "",
 			"follower base URL targeted by promote=N mix traffic (the first promote op performs the failover, the rest measure the idempotent path)")
+		shardWorkers = flag.Int("shard-workers", 0,
+			"with -self: spawn this many pcpm-shard worker processes and run the in-process server in coordinator mode over them (0 = monolithic)")
+		shardBin = flag.String("shard-bin", "pcpm-shard",
+			"pcpm-shard binary spawned for -shard-workers (path or $PATH name)")
 		out = flag.String("o", "", "write the JSON report here (default stdout)")
 	)
 	var followers []string
@@ -85,8 +100,12 @@ func main() {
 	})
 	flag.Parse()
 
+	// cleanup tears down spawned shard-worker processes; os.Exit skips
+	// defers, so every exit path calls it explicitly (it is idempotent).
+	cleanup := func() {}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "pcpm-loadtest:", err)
+		cleanup()
 		os.Exit(1)
 	}
 
@@ -114,6 +133,21 @@ func main() {
 	}
 
 	switch {
+	case *self && *shardWorkers > 0:
+		if *dataDir != "" {
+			fail(fmt.Errorf("-shard-workers is memory-only; it does not compose with -data-dir"))
+		}
+		base, body, stop, err := startShardTarget(*name, *nodes, *degree, *seed, *shardWorkers, *shardBin)
+		if err != nil {
+			fail(err)
+		}
+		cleanup = stop
+		cfg.BaseURL = base
+		cfg.UploadBody = body
+		cfg.MeasureAllocs = true
+		cfg.Deployment = fmt.Sprintf("sharded-%d", *shardWorkers)
+		fmt.Fprintf(os.Stderr, "pcpm-loadtest: in-process coordinator at %s over %d shard workers (%d nodes)\n",
+			base, *shardWorkers, *nodes)
 	case *self:
 		base, body, restart, err := startSelfTarget(*name, *nodes, *degree, *seed, *dataDir)
 		if err != nil {
@@ -123,6 +157,7 @@ func main() {
 		cfg.UploadBody = body
 		cfg.RestartFn = restart
 		cfg.MeasureAllocs = true
+		cfg.Deployment = "monolithic"
 		fmt.Fprintf(os.Stderr, "pcpm-loadtest: in-process server at %s (%d nodes)\n", base, *nodes)
 	case *addr != "":
 		cfg.BaseURL = *addr
@@ -172,8 +207,102 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
+	cleanup()
 	if rep.Errors > 0 {
 		os.Exit(1)
+	}
+}
+
+// startShardTarget builds the sharded self-contained deployment: n
+// pcpm-shard worker processes on free loopback ports, each polled on
+// /healthz until ready, fronted by an in-process coordinator-mode server
+// holding the generated graph. The returned cleanup kills the workers; it
+// is safe to call more than once.
+func startShardTarget(name string, nodes, degree int, seed uint64, n int, bin string) (string, []byte, func(), error) {
+	g, err := gen.PreferentialAttachment(nodes, degree, seed, graph.BuildOptions{})
+	if err != nil {
+		return "", nil, nil, err
+	}
+	var bin64 bytes.Buffer
+	if err := pcpm.SaveBinary(&bin64, g); err != nil {
+		return "", nil, nil, err
+	}
+
+	// Reserve n loopback ports by listening and closing: the tiny window
+	// before the worker binds is harmless on a loadtest box.
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", nil, nil, err
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+
+	var procs []*exec.Cmd
+	var once sync.Once
+	cleanup := func() {
+		once.Do(func() {
+			for _, cmd := range procs {
+				cmd.Process.Kill() //nolint:errcheck // best-effort teardown
+				cmd.Wait()         //nolint:errcheck // reap; exit state is irrelevant
+			}
+		})
+	}
+	for _, addr := range addrs {
+		cmd := exec.Command(bin, "-addr", addr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			cleanup()
+			return "", nil, nil, fmt.Errorf("spawning %s: %w (build it with: go build ./cmd/pcpm-shard)", bin, err)
+		}
+		procs = append(procs, cmd)
+	}
+	urls := make([]string, n)
+	for i, addr := range addrs {
+		urls[i] = "http://" + addr
+		if err := waitHealthy(urls[i], 10*time.Second); err != nil {
+			cleanup()
+			return "", nil, nil, err
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Defaults:     pcpm.Options{Iterations: 10},
+		ShardWorkers: urls,
+	})
+	if _, err := srv.AddGraph(name, g, pcpm.Options{}, false); err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cleanup()
+		return "", nil, nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go hs.Serve(l) //nolint:errcheck // lives for the process
+	return "http://" + l.Addr().String(), bin64.Bytes(), cleanup, nil
+}
+
+// waitHealthy polls base's /healthz until it answers 200 or the budget runs
+// out — the readiness contract that replaces sleep loops.
+func waitHealthy(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	client := &http.Client{Timeout: time.Second}
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("worker at %s not healthy after %v: %v", base, budget, err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rowBlockReference builds the same sub-graph by filtering the edge list.
+func rowBlockReference(t *testing.T, g *Graph, lo, hi NodeID) *Graph {
+	t.Helper()
+	var kept []Edge
+	for _, e := range g.Edges() {
+		if e.Dst >= lo && e.Dst < hi {
+			kept = append(kept, e)
+		}
+	}
+	ref, err := FromEdges(g.NumNodes(), kept, g.Weighted(), BuildOptions{})
+	if err != nil {
+		t.Fatalf("reference FromEdges: %v", err)
+	}
+	return ref
+}
+
+func randomTestGraph(t *testing.T, n, m int, weighted bool, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]NodeID]bool)
+	var edges []Edge
+	for len(edges) < m {
+		src := NodeID(rng.Intn(n))
+		dst := NodeID(rng.Intn(n))
+		key := [2]NodeID{src, dst}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		e := Edge{Src: src, Dst: dst, W: 1}
+		if weighted {
+			e.W = rng.Float32() + 0.5
+		}
+		edges = append(edges, e)
+	}
+	g, err := FromEdges(n, edges, weighted, BuildOptions{})
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	return g
+}
+
+func TestRowBlockMatchesEdgeFilter(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := randomTestGraph(t, 200, 1500, weighted, 42)
+		cuts := []struct{ lo, hi NodeID }{
+			{0, 200}, {0, 100}, {100, 200}, {50, 130}, {0, 0}, {200, 200}, {77, 77},
+		}
+		for _, c := range cuts {
+			sub, err := g.RowBlock(c.lo, c.hi)
+			if err != nil {
+				t.Fatalf("RowBlock(%d,%d): %v", c.lo, c.hi, err)
+			}
+			if err := sub.Validate(); err != nil {
+				t.Fatalf("RowBlock(%d,%d) invalid: %v", c.lo, c.hi, err)
+			}
+			ref := rowBlockReference(t, g, c.lo, c.hi)
+			if !sub.Equal(ref) {
+				t.Fatalf("weighted=%v RowBlock(%d,%d) differs from edge-filter reference", weighted, c.lo, c.hi)
+			}
+		}
+	}
+}
+
+func TestRowBlockPartitionCoversGraph(t *testing.T) {
+	g := randomTestGraph(t, 97, 800, false, 7)
+	// Disjoint blocks must partition the edge set exactly.
+	bounds := []NodeID{0, 20, 55, 97}
+	var total int64
+	for i := 0; i+1 < len(bounds); i++ {
+		sub, err := g.RowBlock(bounds[i], bounds[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += sub.NumEdges()
+		for _, e := range sub.Edges() {
+			if e.Dst < bounds[i] || e.Dst >= bounds[i+1] {
+				t.Fatalf("edge %d->%d escapes block [%d,%d)", e.Src, e.Dst, bounds[i], bounds[i+1])
+			}
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("blocks cover %d edges, graph has %d", total, g.NumEdges())
+	}
+}
+
+func TestRowBlockBadRange(t *testing.T) {
+	g := randomTestGraph(t, 10, 20, false, 1)
+	if _, err := g.RowBlock(5, 3); err == nil {
+		t.Fatal("want error for lo > hi")
+	}
+	if _, err := g.RowBlock(0, 11); err == nil {
+		t.Fatal("want error for hi > n")
+	}
+}

@@ -221,6 +221,11 @@ type Config struct {
 	// function returns, so its duration is the recovery-latency sample.
 	// nil disables restart operations.
 	RestartFn func() error
+	// Deployment labels the target topology in the report ("monolithic",
+	// "sharded-2", ...); empty means unlabeled. Purely descriptive — the
+	// replay itself is identical, which is the point: the same schedule
+	// compares deployment shapes on equal traffic.
+	Deployment string
 	// Client overrides the HTTP client (default: 30 s timeout).
 	Client *http.Client
 	// MeasureAllocs samples allocations per operation per endpoint after
@@ -381,6 +386,7 @@ type EndpointStats struct {
 // Report is one completed replay.
 type Report struct {
 	Graph       string          `json:"graph"`
+	Deployment  string          `json:"deployment,omitempty"`
 	Seed        uint64          `json:"seed"`
 	Ops         int             `json:"ops"`
 	Concurrency int             `json:"concurrency"`
@@ -484,6 +490,7 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{
 		Graph:       cfg.Graph,
+		Deployment:  cfg.Deployment,
 		Seed:        cfg.Seed,
 		Ops:         len(ops),
 		Concurrency: workers,

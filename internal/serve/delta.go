@@ -122,6 +122,11 @@ func (s *Server) ApplyEdgeDelta(name string, d delta.EdgeDelta) (DeltaStatus, er
 	if err != nil {
 		return DeltaStatus{}, err
 	}
+	if snap := e.snap.Load(); snap != nil && snap.Shard != nil {
+		// The structure is row-blocked across worker processes; there is no
+		// resident rank vector to repair incrementally. Re-upload to mutate.
+		return DeltaStatus{}, fmt.Errorf("%w: edge deltas (re-upload the graph)", ErrShardUnsupported)
+	}
 	if d.Size() == 0 {
 		return DeltaStatus{}, fmt.Errorf("%w: no insertions or deletions", ErrBadDelta)
 	}
@@ -224,7 +229,7 @@ func (s *Server) applyDelta(e *entry, d delta.EdgeDelta) (DeltaStatus, error) {
 	if fellBack {
 		st.Mode = "recompute"
 		st.Reason = reason
-		ns, err = s.compute(e, res.Graph, stats, dec, opts)
+		ns, err = s.compute(e, res.Graph, stats, dec, opts, false)
 		if err != nil {
 			return DeltaStatus{}, err
 		}

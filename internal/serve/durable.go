@@ -365,6 +365,12 @@ func (s *Server) Recover() (*RecoveryReport, error) {
 	if s.cfg.DataDir == "" {
 		return rep, nil
 	}
+	if s.coord != nil {
+		// Sharded deployments are memory-only: the rank vectors live on the
+		// workers, so a replayed log could not restore them without the fleet
+		// re-solving anyway. Refuse the combination rather than half-persist.
+		return nil, errors.New("serve: durability (DataDir) is not supported with ShardWorkers")
+	}
 	if s.wal.Load() != nil {
 		return nil, errors.New("serve: Recover called twice")
 	}
@@ -641,7 +647,7 @@ func (s *Server) republishDelta(e *entry, m deltaMeta, blob []byte) error {
 // compute, same publish, no inflight machinery (replay is single-threaded).
 func (s *Server) replayRecompute(e *entry, opts pcpm.Options) error {
 	old := e.snap.Load()
-	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts)
+	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts, false)
 	if err != nil {
 		return err
 	}

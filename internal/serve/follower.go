@@ -149,6 +149,9 @@ func (s *Server) Follow(ctx context.Context) error {
 	if s.cfg.FollowAddr == "" {
 		return errors.New("serve: Follow requires Config.FollowAddr")
 	}
+	if s.coord != nil {
+		return errors.New("serve: a shard coordinator cannot also be a replication follower")
+	}
 	if s.wal.Load() != nil {
 		return errors.New("serve: a follower cannot be durable itself (the data dir is adopted on promotion)")
 	}

@@ -12,6 +12,7 @@ import (
 	pcpm "repro"
 	"repro/internal/delta"
 	"repro/internal/graph"
+	"repro/internal/shard"
 )
 
 // Handler returns the server's HTTP API:
@@ -61,12 +62,23 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	ready, reason := s.Ready()
+	body := map[string]any{
 		"status":   "ok",
+		"ready":    ready,
 		"role":     s.ReplStatus().Role,
 		"graphs":   s.NumGraphs(),
 		"uptime_s": s.Uptime().Seconds(),
-	})
+	}
+	status := http.StatusOK
+	if !ready {
+		// 503 until recovery/bootstrap finishes so orchestration and CI can
+		// poll this endpoint instead of sleeping a guessed interval.
+		body["status"] = "starting"
+		body["reason"] = reason
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -117,11 +129,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.IngestGraph(name, g, ov, replace)
 	if err != nil {
-		if errors.Is(err, ErrExists) {
+		switch {
+		case errors.Is(err, ErrExists):
 			writeError(w, http.StatusConflict, err.Error())
-			return
+		case errors.Is(err, shard.ErrUnavailable):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -171,6 +186,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	entries, snap, err := s.TopK(name, k)
 	if err != nil {
+		if errors.Is(err, shard.ErrUnavailable) {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
@@ -192,11 +211,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	rank, snap, err := s.Rank(name, uint32(vertex))
 	if err != nil {
-		if errors.Is(err, ErrNotFound) {
+		switch {
+		case errors.Is(err, ErrNotFound):
 			writeError(w, http.StatusNotFound, err.Error())
-			return
+		case errors.Is(err, shard.ErrUnavailable):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
 		}
-		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -328,6 +350,8 @@ func (s *Server) handleRecompute(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, err.Error())
 		case errors.Is(err, ErrInvalidOptions):
 			writeError(w, http.StatusBadRequest, err.Error())
+		case errors.Is(err, shard.ErrUnavailable):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
 		default:
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
@@ -449,6 +473,8 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrNotFound):
 			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrShardUnsupported):
+			writeError(w, http.StatusNotImplemented, err.Error())
 		case errors.Is(err, ErrDeltaTooLarge):
 			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
 		case errors.Is(err, ErrBadDelta):

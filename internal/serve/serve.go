@@ -26,6 +26,7 @@ import (
 	pcpm "repro"
 	"repro/internal/graph"
 	"repro/internal/scc"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -91,6 +92,11 @@ type Snapshot struct {
 	// snapshot persisted at WalLSN L reflects every log record for this
 	// graph up to and including L, and recovery replay skips those.
 	WalLSN uint64
+	// Shard is non-nil when a worker fleet computed this snapshot. Ranks is
+	// then nil — the vector lives row-blocked on the workers — and top-k and
+	// single-vertex reads scatter-gather through the coordinator instead of
+	// serving from the snapshot.
+	Shard *ShardInfo
 
 	topk []pcpm.RankEntry // first topKCacheSize entries, precomputed
 }
@@ -202,6 +208,17 @@ type Config struct {
 	// FollowBackoff is the initial reconnect backoff after a failed
 	// bootstrap or tail round, doubling up to 5s (default 200ms).
 	FollowBackoff time.Duration
+	// ShardWorkers lists shard-worker base URLs. When non-empty the server
+	// runs in coordinator mode: ingests cut the graph into row blocks
+	// deployed across the workers, solves run as distributed PCPM rounds,
+	// and topk/rank queries scatter-gather worker-local slices. The serving
+	// API is unchanged for clients. Coordinator mode is memory-only — it
+	// composes with neither DataDir durability nor FollowAddr replication —
+	// and sharded graphs reject edge deltas (re-upload to mutate).
+	ShardWorkers []string
+	// ShardSolveTimeout bounds one distributed solve, payload distribution
+	// included (default 10 minutes).
+	ShardSolveTimeout time.Duration
 	// ShipFullVectors disables residual shipping: replicated recomputes
 	// and repairs always log the full float32 rank vector (RecRecompute /
 	// ranks_enc "full") instead of the sparse signed residual delta. The
@@ -267,6 +284,10 @@ type Server struct {
 	// goroutine is the only writer of the registry, reusing the replay
 	// fields above under the same single-writer discipline.
 	follower *followerState
+
+	// coord drives the shard-worker fleet when Config.ShardWorkers is set;
+	// nil runs every engine in-process. See shard.go.
+	coord *shard.Coordinator
 }
 
 // New builds a Server from cfg.
@@ -290,6 +311,17 @@ func New(cfg Config) *Server {
 	if cfg.FollowAddr != "" {
 		s.follower = newFollowerState(cfg)
 		s.gateFollower.Store(true)
+	}
+	if len(cfg.ShardWorkers) > 0 {
+		// NewCoordinator only fails on an empty worker list, which the guard
+		// above excludes.
+		coord, err := shard.NewCoordinator(cfg.ShardWorkers, shard.CoordinatorConfig{
+			SolveTimeout: cfg.ShardSolveTimeout,
+		})
+		if err != nil {
+			panic(err)
+		}
+		s.coord = coord
 	}
 	return s
 }
@@ -413,7 +445,7 @@ func (s *Server) addGraph(name string, g *graph.Graph, opts pcpm.Options, replac
 		pprWait: make(map[string]*pprInflight),
 	}
 	stats, dec := graphStats(g)
-	snap, err := s.compute(e, g, stats, dec, opts)
+	snap, err := s.compute(e, g, stats, dec, opts, true)
 	if err != nil {
 		return GraphInfo{}, err
 	}
@@ -459,11 +491,20 @@ func (s *Server) Remove(name string) error {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.graphs[name]; !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(s.graphs, name)
+	s.mu.Unlock()
+	if s.coord != nil {
+		// Best-effort, and after releasing the registry lock: the entry is
+		// already gone, so a worker that misses the delete only wastes memory
+		// until it restarts. Don't fail the removal over it.
+		if err := s.coord.Remove(name); err != nil {
+			s.log.Warn("shard fleet remove failed", "graph", name, "err", err)
+		}
+	}
 	return nil
 }
 
@@ -510,6 +551,13 @@ func (s *Server) TopK(name string, k int) ([]pcpm.RankEntry, *Snapshot, error) {
 		return nil, nil, err
 	}
 	snap := e.snap.Load()
+	if snap.Shard != nil {
+		entries, err := s.shardTopK(name, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return entries, snap, nil
+	}
 	return snap.TopK(k), snap, nil
 }
 
@@ -520,6 +568,13 @@ func (s *Server) Rank(name string, vertex uint32) (float32, *Snapshot, error) {
 		return 0, nil, err
 	}
 	snap := e.snap.Load()
+	if snap.Shard != nil {
+		r, err := s.shardRank(name, snap, vertex)
+		if err != nil {
+			return 0, nil, err
+		}
+		return r, snap, nil
+	}
 	if int64(vertex) >= int64(len(snap.Ranks)) {
 		return 0, nil, fmt.Errorf("serve: vertex %d out of range [0,%d)", vertex, len(snap.Ranks))
 	}
@@ -679,7 +734,7 @@ func (s *Server) Recompute(name string, ov Overrides, wait bool) (RecomputeStatu
 // the graph here cannot race a delta mutation.
 func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 	old := e.snap.Load()
-	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts)
+	snap, err := s.compute(e, old.Graph, old.Stats, old.SCC, opts, false)
 	if err == nil {
 		// Logged with the resulting rank vector (full, or as a signed
 		// residual delta against the parent when that is smaller), so
@@ -716,8 +771,14 @@ func (s *Server) runRecompute(e *entry, run *inflightRun, opts pcpm.Options) {
 
 // compute runs the engine and wraps the result in an unpublished Snapshot.
 // stats and dec must describe g; recomputes pass the prior snapshot's so an
-// unchanged graph is not re-summarized or re-decomposed.
-func (s *Server) compute(e *entry, g *graph.Graph, stats graph.Stats, dec *scc.Result, opts pcpm.Options) (*Snapshot, error) {
+// unchanged graph is not re-summarized or re-decomposed. fresh distinguishes
+// an ingest-time computation from a re-run of a registered graph — in
+// coordinator mode the former deploys shard payloads, the latter only
+// re-solves on the already-distributed blocks.
+func (s *Server) compute(e *entry, g *graph.Graph, stats graph.Stats, dec *scc.Result, opts pcpm.Options, fresh bool) (*Snapshot, error) {
+	if s.coord != nil {
+		return s.computeSharded(e, g, stats, dec, opts, fresh)
+	}
 	start := time.Now()
 	res, err := s.computeFn(g, opts, dec)
 	if err != nil {

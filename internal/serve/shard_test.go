@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	pcpm "repro"
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// newShardedServer spins up n shard workers on httptest servers and a
+// coordinator-mode serve.Server fronting them, returning the facade, its
+// HTTP server, and the worker servers for failure injection.
+func newShardedServer(t *testing.T, n int) (*Server, *httptest.Server, []*httptest.Server) {
+	t.Helper()
+	workers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := shard.NewWorker(shard.WorkerConfig{})
+		workers[i] = httptest.NewServer(w.Handler())
+		urls[i] = workers[i].URL
+		t.Cleanup(workers[i].Close)
+	}
+	s := New(Config{Defaults: testOptions, ShardWorkers: urls})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, workers
+}
+
+func TestShardedServeTransparentEndpoints(t *testing.T) {
+	g := testGraph(t)
+	s, ts, _ := newShardedServer(t, 2)
+	if !s.Sharded() {
+		t.Fatal("server with ShardWorkers does not report Sharded")
+	}
+
+	// Ingest through the same endpoint a monolithic server exposes.
+	info := ingest(t, ts, "web", edgeListBody(t, g))
+	if info.Method != MethodSharded {
+		t.Fatalf("ingest method = %q, want %q", info.Method, MethodSharded)
+	}
+	if info.Version != 1 || info.Iterations == 0 {
+		t.Fatalf("unexpected ingest info: %+v", info)
+	}
+
+	// The same options on a monolithic run are the reference answer.
+	mono, err := pcpm.Run(g, testOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Top-k through the unchanged endpoint, with the sharded method name.
+	var topkResp struct {
+		Method string `json:"method"`
+		Ranks  []struct {
+			Node uint32  `json:"node"`
+			Rank float32 `json:"rank"`
+		} `json:"ranks"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/web/topk?k=25", nil, &topkResp); code != http.StatusOK {
+		t.Fatalf("topk: status %d", code)
+	}
+	if topkResp.Method != string(MethodSharded) {
+		t.Fatalf("topk method = %q, want %q", topkResp.Method, MethodSharded)
+	}
+	want := core.TopK(mono.Ranks, 25)
+	if len(topkResp.Ranks) != len(want) {
+		t.Fatalf("topk returned %d entries, want %d", len(topkResp.Ranks), len(want))
+	}
+	for i, e := range topkResp.Ranks {
+		diff := float64(e.Rank) - float64(mono.Ranks[e.Node])
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-6 {
+			t.Fatalf("topk[%d] node %d rank %v, monolithic %v", i, e.Node, e.Rank, mono.Ranks[e.Node])
+		}
+	}
+
+	// Single-vertex rank routes to the owning worker.
+	var rankResp struct {
+		Rank   float32 `json:"rank"`
+		Method string  `json:"method"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/web/rank/123", nil, &rankResp); code != http.StatusOK {
+		t.Fatalf("rank: status %d", code)
+	}
+	if diff := float64(rankResp.Rank) - float64(mono.Ranks[123]); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("rank(123) = %v, monolithic %v", rankResp.Rank, mono.Ranks[123])
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/web/rank/999999", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range rank: status %d, want 400", code)
+	}
+
+	// Personalized PageRank stays coordinator-local (the snapshot keeps the
+	// graph structure), so the endpoint answers unchanged.
+	var pprResp struct {
+		Result struct {
+			Scores []struct {
+				Node uint32 `json:"node"`
+			} `json:"scores"`
+		} `json:"result"`
+	}
+	body := []byte(`{"seeds":[1],"k":5}`)
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/web/ppr", body, &pprResp); code != http.StatusOK {
+		t.Fatalf("ppr: status %d", code)
+	}
+	if len(pprResp.Result.Scores) == 0 {
+		t.Fatalf("ppr returned no scores: %+v", pprResp)
+	}
+}
+
+func TestShardedServeRecomputeAndRemove(t *testing.T) {
+	g := testGraph(t)
+	_, ts, _ := newShardedServer(t, 2)
+	ingest(t, ts, "web", edgeListBody(t, g))
+
+	var resp struct {
+		Version uint64 `json:"version"`
+	}
+	if code := doJSON(t, "POST", ts.URL+"/v1/graphs/web/recompute?wait=true",
+		[]byte(`{"iterations":10}`), &resp); code != http.StatusOK {
+		t.Fatalf("recompute: status %d", code)
+	}
+	if resp.Version != 2 {
+		t.Fatalf("recompute version = %d, want 2", resp.Version)
+	}
+
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/graphs/web", nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/web/topk", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("topk after delete: status %d, want 404", code)
+	}
+	// The workers dropped their blocks too: re-ingesting under the same name
+	// must deploy cleanly rather than collide with stale state.
+	ingest(t, ts, "web", edgeListBody(t, g))
+}
+
+func TestShardedServeEdgeDeltasUnsupported(t *testing.T) {
+	g := testGraph(t)
+	_, ts, _ := newShardedServer(t, 2)
+	ingest(t, ts, "web", edgeListBody(t, g))
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	code := doJSON(t, "POST", ts.URL+"/v1/graphs/web/edges",
+		[]byte(`{"insert":[[1,2]]}`), &errResp)
+	if code != http.StatusNotImplemented {
+		t.Fatalf("edges on sharded graph: status %d, want 501", code)
+	}
+	if !strings.Contains(errResp.Error, "not supported on sharded graphs") {
+		t.Fatalf("edges error lacks detail: %q", errResp.Error)
+	}
+}
+
+func TestShardedServeWorkerDown(t *testing.T) {
+	g := testGraph(t)
+	_, ts, workers := newShardedServer(t, 2)
+	ingest(t, ts, "web", edgeListBody(t, g))
+
+	workers[1].Close()
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	code := doJSON(t, "GET", ts.URL+"/v1/graphs/web/topk?k=5", nil, &errResp)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("topk with dead worker: status %d, want 503", code)
+	}
+	if !strings.Contains(errResp.Error, "unavailable") {
+		t.Fatalf("503 body lacks worker detail: %q", errResp.Error)
+	}
+	// Recompute also needs the whole fleet.
+	code = doJSON(t, "POST", ts.URL+"/v1/graphs/web/recompute?wait=true", nil, &errResp)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("recompute with dead worker: status %d, want 503", code)
+	}
+	// A vertex on the surviving shard still answers.
+	var info GraphInfo
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/web", nil, &info); code != http.StatusOK {
+		t.Fatalf("info: status %d", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/graphs/web/rank/0", nil, nil); code != http.StatusOK {
+		t.Fatalf("rank on surviving shard: status %d", code)
+	}
+}
+
+func TestShardedServeIngestFailsWithoutFleet(t *testing.T) {
+	g := testGraph(t)
+	_, ts, workers := newShardedServer(t, 2)
+	for _, w := range workers {
+		w.Close()
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	code := doJSON(t, "POST", ts.URL+"/v1/graphs?name=web", edgeListBody(t, g), &errResp)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest with dead fleet: status %d, want 503", code)
+	}
+}
+
+func TestShardedServeRejectsDurabilityAndFollowing(t *testing.T) {
+	w := shard.NewWorker(shard.WorkerConfig{})
+	ws := httptest.NewServer(w.Handler())
+	t.Cleanup(ws.Close)
+
+	s := New(Config{ShardWorkers: []string{ws.URL}, DataDir: t.TempDir()})
+	if _, err := s.Recover(); err == nil {
+		t.Fatal("Recover with ShardWorkers+DataDir succeeded")
+	}
+
+	sf := New(Config{ShardWorkers: []string{ws.URL}, FollowAddr: "http://localhost:1"})
+	if err := sf.Follow(context.Background()); err == nil ||
+		!strings.Contains(err.Error(), "follower") {
+		t.Fatalf("Follow on coordinator: err = %v, want rejection", err)
+	}
+}
+
+func TestHealthzReadiness(t *testing.T) {
+	// A plain memory-only server is ready immediately.
+	_, ts := newTestServer(t)
+	var health struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, &health); code != http.StatusOK || !health.Ready {
+		t.Fatalf("memory server health: code %d ready %v", code, health.Ready)
+	}
+
+	// A durable server is not ready until Recover has run.
+	s := New(Config{DataDir: t.TempDir()})
+	tsd := httptest.NewServer(s.Handler())
+	t.Cleanup(tsd.Close)
+	if code := doJSON(t, "GET", tsd.URL+"/healthz", nil, &health); code != http.StatusServiceUnavailable || health.Ready {
+		t.Fatalf("unrecovered health: code %d ready %v", code, health.Ready)
+	}
+	if health.Reason == "" {
+		t.Fatal("unready health response carries no reason")
+	}
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if code := doJSON(t, "GET", tsd.URL+"/healthz", nil, &health); code != http.StatusOK || !health.Ready {
+		t.Fatalf("recovered health: code %d ready %v", code, health.Ready)
+	}
+
+	// A follower is not ready until its first bootstrap completes.
+	f := New(Config{FollowAddr: "http://localhost:1"})
+	tsf := httptest.NewServer(f.Handler())
+	t.Cleanup(tsf.Close)
+	if code := doJSON(t, "GET", tsf.URL+"/healthz", nil, &health); code != http.StatusServiceUnavailable || health.Ready {
+		t.Fatalf("unbootstrapped follower health: code %d ready %v", code, health.Ready)
+	}
+}
+
+func TestShardedSnapshotShape(t *testing.T) {
+	g := testGraph(t)
+	s, ts, _ := newShardedServer(t, 3)
+	ingest(t, ts, "web", edgeListBody(t, g))
+
+	_, snap, err := s.TopK("web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Shard == nil {
+		t.Fatal("sharded snapshot has nil Shard info")
+	}
+	if snap.Ranks != nil {
+		t.Fatal("sharded snapshot retains a resident rank vector")
+	}
+	if snap.Graph == nil {
+		t.Fatal("sharded snapshot dropped the graph structure (PPR needs it)")
+	}
+	if snap.Shard.Workers != 3 {
+		t.Fatalf("ShardInfo.Workers = %d, want 3", snap.Shard.Workers)
+	}
+	if err := snap.Shard.Assignment.Validate(g.NumNodes()); err != nil {
+		t.Fatalf("invalid published assignment: %v", err)
+	}
+	if fmt.Sprint(snap.Method) != string(MethodSharded) {
+		t.Fatalf("method = %q", snap.Method)
+	}
+}

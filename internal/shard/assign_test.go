@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/scc"
+)
+
+func testGraph(t *testing.T, n int, m int64, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.ErdosRenyi(n, m, seed, graph.BuildOptions{})
+	if err != nil {
+		t.Fatalf("ErdosRenyi: %v", err)
+	}
+	return g
+}
+
+func TestAssignContiguousAndBalanced(t *testing.T) {
+	g := testGraph(t, 1000, 8000, 3)
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		a := Assign(g, shards)
+		if len(a) != shards {
+			t.Fatalf("shards=%d: got %d ranges", shards, len(a))
+		}
+		if err := a.Validate(g.NumNodes()); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		// Balance: no shard should carry more than twice the ideal cost.
+		var total int64 = g.NumEdges() + int64(g.NumNodes())
+		ideal := total / int64(shards)
+		for i, r := range a {
+			var cost int64
+			for v := r.Lo; v < r.Hi; v++ {
+				cost += g.InDegree(v) + 1
+			}
+			if shards <= 8 && cost > 2*ideal+1 {
+				t.Errorf("shards=%d: shard %d cost %d exceeds 2x ideal %d", shards, i, cost, ideal)
+			}
+		}
+	}
+}
+
+func TestAssignMoreShardsThanNodes(t *testing.T) {
+	g := testGraph(t, 3, 4, 9)
+	a := Assign(g, 8)
+	if err := a.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	owned := 0
+	for _, r := range a {
+		owned += r.Len()
+	}
+	if owned != 3 {
+		t.Fatalf("ranges own %d vertices, want 3", owned)
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	a := Assignment{{0, 10}, {10, 10}, {10, 25}, {25, 30}}
+	cases := []struct {
+		v    graph.NodeID
+		want int
+	}{{0, 0}, {9, 0}, {10, 2}, {24, 2}, {25, 3}, {29, 3}}
+	for _, c := range cases {
+		if got := a.ShardOf(c.v); got != c.want {
+			t.Errorf("ShardOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAssignSCCKeepsComponentsTogether(t *testing.T) {
+	// DAG-communities graphs have many moderate components; after scc
+	// decomposition a snapped cut should not straddle a component unless no
+	// clean position exists near the balanced cut.
+	g, err := gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 16, ClusterSize: 120, IntraDegree: 4, BridgeDegree: 10, Seed: 15,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatalf("DAGCommunities: %v", err)
+	}
+	r := scc.Decompose(g, 0)
+	for _, shards := range []int{2, 4} {
+		a := AssignSCC(g, r, shards)
+		if err := a.Validate(g.NumNodes()); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		// Count components straddling a cut under both assignments; the
+		// SCC-aware one must not be worse than the plain balanced cut.
+		plain := Assign(g, shards)
+		if straddles(r, a) > straddles(r, plain) {
+			t.Errorf("shards=%d: SCC-aware assignment straddles %d components, plain %d",
+				shards, straddles(r, a), straddles(r, plain))
+		}
+	}
+}
+
+func straddles(r *scc.Result, a Assignment) int {
+	count := 0
+	for c := int32(0); c < int32(r.NumComps); c++ {
+		mem := r.Members(c)
+		if len(mem) < 2 {
+			continue
+		}
+		if a.ShardOf(mem[0]) != a.ShardOf(mem[len(mem)-1]) {
+			count++
+		}
+	}
+	return count
+}
+
+func TestAssignSCCNilFallsBack(t *testing.T) {
+	g := testGraph(t, 100, 500, 5)
+	a := AssignSCC(g, nil, 4)
+	if err := a.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+}

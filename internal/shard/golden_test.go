@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	pcpm "repro"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/scc"
+)
+
+// goldenFamilies mirrors the family sweep shared by the comp, ppr, and
+// delta goldens so the sharded solver is held to the same bar on the same
+// graphs.
+func goldenFamilies(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	families := make(map[string]*graph.Graph)
+	var err error
+	families["erdos-renyi"], err = gen.ErdosRenyi(2000, 16000, 11, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["rmat"], err = gen.RMAT(gen.Graph500RMAT(11, 8, 12), graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["preferential"], err = gen.PreferentialAttachmentMix(2000, 8, 0.3, 13, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["copying"], err = gen.Copying(gen.CopyingConfig{
+		N: 2000, OutDegree: 8, CopyProb: 0.4, Locality: 0.5, PrefGlobal: 0.3, Seed: 14,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	families["dag-communities"], err = gen.DAGCommunities(gen.DAGCommunitiesConfig{
+		Clusters: 16, ClusterSize: 120, IntraDegree: 4, BridgeDegree: 10, Seed: 15,
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+// TestGoldenShardedVsMonolithic drives real worker processes' worth of HTTP
+// machinery (httptest servers, allgather swaps) at 2 and 4 shards across the
+// five generator families and holds the gathered vector to 1e-6 L1 of the
+// monolithic solver, with merged top-k bit-equal to selection over the
+// gathered vector at Workers:1 per shard.
+func TestGoldenShardedVsMonolithic(t *testing.T) {
+	for name, g := range goldenFamilies(t) {
+		mono, err := pcpm.Run(g, pcpm.Options{Tolerance: 1e-9})
+		if err != nil {
+			t.Fatalf("%s: monolithic run: %v", name, err)
+		}
+		var dec *scc.Result
+		if name == "dag-communities" {
+			// Exercise the condensation-aware assignment on the family built
+			// to have component structure.
+			dec = scc.Decompose(g, 0)
+		}
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				c, _ := startFleet(t, shards)
+				opts := SolveOptions{Damping: 0.85, Tolerance: 1e-9, Workers: 1}
+				if _, err := c.Deploy(name, g, dec, opts); err != nil {
+					t.Fatal(err)
+				}
+				gathered, err := c.Ranks(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if l1 := core.L1Diff(gathered, mono.Ranks); l1 > 1e-6 {
+					t.Errorf("L1 vs monolithic = %g, want <= 1e-6", l1)
+				}
+				const k = 100
+				merged, err := c.TopK(name, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := core.TopK(gathered, k)
+				if len(merged) != len(want) {
+					t.Fatalf("merged topk has %d entries, want %d", len(merged), len(want))
+				}
+				for i := range merged {
+					if merged[i].Node != want[i].Node || merged[i].Rank != want[i].Rank {
+						t.Fatalf("topk[%d] = %+v, want %+v (merge not bit-equal)", i, merged[i], want[i])
+					}
+				}
+				// The top-k NODE SET must also match the monolithic server's
+				// answer (values may differ in final bits, the set must not).
+				monoTop := core.TopK(mono.Ranks, k)
+				if !sameNodeSet(merged, monoTop) {
+					t.Errorf("merged top-%d node set differs from monolithic", k)
+				}
+			})
+		}
+	}
+}
+
+func sameNodeSet(a []RankEntry, b []core.RankEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	an := make([]graph.NodeID, len(a))
+	bn := make([]graph.NodeID, len(b))
+	for i := range a {
+		an[i], bn[i] = a[i].Node, b[i].Node
+	}
+	sort.Slice(an, func(i, j int) bool { return an[i] < an[j] })
+	sort.Slice(bn, func(i, j int) bool { return bn[i] < bn[j] })
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	return true
+}

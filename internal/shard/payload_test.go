@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPayloadRoundtrip(t *testing.T) {
+	g := testGraph(t, 300, 2400, 17)
+	a := Assign(g, 3)
+	degs, err := DegreesOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []string{"http://a", "http://b", "http://c"}
+	for i, r := range a {
+		sub, err := g.RowBlock(r.Lo, r.Hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta := PayloadMeta{Graph: "g", Shard: i, Ranges: a, Peers: peers, N: g.NumNodes(), M: g.NumEdges()}
+		var buf bytes.Buffer
+		if err := WritePayload(&buf, meta, sub, degs); err != nil {
+			t.Fatal(err)
+		}
+		p, err := ReadPayload(&buf)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if p.Meta.Shard != i || p.Meta.Graph != "g" || p.Meta.N != g.NumNodes() {
+			t.Fatalf("shard %d: meta mangled: %+v", i, p.Meta)
+		}
+		if !p.Sub.Equal(sub) {
+			t.Fatalf("shard %d: sub-graph mangled", i)
+		}
+		for v, d := range p.Degs {
+			if d != degs[v] {
+				t.Fatalf("shard %d: degree of %d mangled", i, v)
+			}
+		}
+	}
+}
+
+func TestPayloadRejectsMalformed(t *testing.T) {
+	g := testGraph(t, 100, 500, 8)
+	a := Assign(g, 2)
+	degs, _ := DegreesOf(g)
+	sub0, _ := g.RowBlock(a[0].Lo, a[0].Hi)
+	good := func() PayloadMeta {
+		return PayloadMeta{Graph: "g", Shard: 0, Ranges: a, Peers: []string{"x", "y"}, N: 100, M: g.NumEdges()}
+	}
+	cases := []struct {
+		name string
+		mut  func(*PayloadMeta)
+		want string
+	}{
+		{"bad shard index", func(m *PayloadMeta) { m.Shard = 5 }, "out of range"},
+		{"peer count mismatch", func(m *PayloadMeta) { m.Peers = m.Peers[:1] }, "peers"},
+		{"missing name", func(m *PayloadMeta) { m.Graph = "" }, "graph name"},
+		{"gap in ranges", func(m *PayloadMeta) { m.Ranges = Assignment{{0, 40}, {50, 100}} }, "contiguity"},
+		{"wrong n", func(m *PayloadMeta) { m.N = 99 }, "nodes"},
+		{"edges outside block", func(m *PayloadMeta) { m.Shard = 1 }, "outside owned block"},
+	}
+	for _, c := range cases {
+		m := good()
+		c.mut(&m)
+		var buf bytes.Buffer
+		if err := WritePayload(&buf, m, sub0, degs); err != nil {
+			t.Fatalf("%s: write: %v", c.name, err)
+		}
+		_, err := ReadPayload(&buf)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: got err %v, want substring %q", c.name, err, c.want)
+		}
+	}
+	// Truncated stream must error, not hang or over-allocate.
+	var buf bytes.Buffer
+	if err := WritePayload(&buf, good(), sub0, degs); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadPayload(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	pcpm "repro"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// startFleet spins up n workers on httptest servers and a coordinator over
+// them, returning both plus the servers for failure injection.
+func startFleet(t *testing.T, n int) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := NewWorker(WorkerConfig{})
+		servers[i] = httptest.NewServer(w.Handler())
+		urls[i] = servers[i].URL
+		t.Cleanup(servers[i].Close)
+	}
+	c, err := NewCoordinator(urls, CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, servers
+}
+
+func TestCoordinatorEndToEnd(t *testing.T) {
+	g := testGraph(t, 600, 4800, 77)
+	c, _ := startFleet(t, 3)
+	opts := SolveOptions{Damping: 0.85, Tolerance: 1e-9}
+	info, err := c.Deploy("web", g, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := info.Assignment.Validate(g.NumNodes()); err != nil {
+		t.Fatal(err)
+	}
+	if info.Rounds == 0 || info.Delta >= 1e-9 {
+		t.Fatalf("solve did not converge: %+v", info)
+	}
+
+	mono, err := pcpm.Run(g, pcpm.Options{Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gathered, err := c.Ranks("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 := core.L1Diff(gathered, mono.Ranks); l1 > 1e-6 {
+		t.Fatalf("gathered ranks L1 vs monolithic = %g", l1)
+	}
+
+	// Merged top-k must be bit-equal to selecting over the gathered vector.
+	merged, err := c.TopK("web", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.TopK(gathered, 25)
+	if len(merged) != len(want) {
+		t.Fatalf("merged topk has %d entries, want %d", len(merged), len(want))
+	}
+	for i := range merged {
+		if merged[i].Node != want[i].Node || merged[i].Rank != want[i].Rank {
+			t.Fatalf("topk[%d] = %+v, want %+v", i, merged[i], want[i])
+		}
+	}
+
+	// Single-vertex lookups route to the owning worker.
+	for _, v := range []graph.NodeID{0, 299, 599} {
+		e, err := c.Rank("web", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Node != v || e.Rank != gathered[v] {
+			t.Fatalf("Rank(%d) = %+v, want rank %v", v, e, gathered[v])
+		}
+	}
+	if _, err := c.Rank("web", 600); err == nil {
+		t.Fatal("out-of-range rank lookup succeeded")
+	}
+
+	// Re-solve (recompute path) keeps answering.
+	if err := c.Solve("web", opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TopK("web", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Remove("web"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TopK("web", 5); err == nil {
+		t.Fatal("query on removed graph succeeded")
+	}
+}
+
+// TestWorkerReplaceServesOldPublication pins the replace-continuity
+// contract: reloading a payload for an already-deployed graph (same vertex
+// space) must not blank the worker's answers — queries serve the outgoing
+// publication until the new deployment's first solve swaps it out, the
+// sharded analogue of the monolithic server answering from the old snapshot
+// during a recompute.
+func TestWorkerReplaceServesOldPublication(t *testing.T) {
+	g := testGraph(t, 400, 3000, 9)
+	c, servers := startFleet(t, 2)
+	if _, err := c.Deploy("web", g, nil, SolveOptions{Damping: 0.85, Tolerance: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.TopK("web", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-load a fresh payload for shard 0 without solving it — the state a
+	// replace deployment is in between payload distribution and convergence.
+	info, _ := c.Info("web")
+	a := info.Assignment
+	sub, err := g.RowBlock(a[0].Lo, a[0].Hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs, err := DegreesOf(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, len(servers))
+	for i, s := range servers {
+		urls[i] = s.URL
+	}
+	var buf bytes.Buffer
+	meta := PayloadMeta{Graph: "web", Shard: 0, Ranges: a, Peers: urls, N: g.NumNodes(), M: g.NumEdges()}
+	if err := WritePayload(&buf, meta, sub, degs); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(servers[0].URL+"/v1/shard/load", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload returned %s", resp.Status)
+	}
+
+	// The unsolved reload keeps answering with the previous publication.
+	after, err := c.TopK("web", 10)
+	if err != nil {
+		t.Fatalf("topk mid-replace: %v", err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("topk changed mid-replace: %+v vs %+v", before[i], after[i])
+		}
+	}
+	// And a re-solve through the coordinator swaps in the new state cleanly.
+	if err := c.Solve("web", SolveOptions{Damping: 0.85, Tolerance: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.TopK("web", 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorFixedRounds(t *testing.T) {
+	g := testGraph(t, 300, 2000, 5)
+	c, _ := startFleet(t, 2)
+	info, err := c.Deploy("fixed", g, nil, SolveOptions{Damping: 0.85, Rounds: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rounds != 7 {
+		t.Fatalf("fixed solve ran %d rounds, want 7", info.Rounds)
+	}
+}
+
+func TestCoordinatorWorkerDownIsUnavailable(t *testing.T) {
+	g := testGraph(t, 400, 3000, 13)
+	c, servers := startFleet(t, 2)
+	if _, err := c.Deploy("web", g, nil, SolveOptions{Damping: 0.85, Tolerance: 1e-9}); err != nil {
+		t.Fatal(err)
+	}
+	servers[1].Close()
+	_, err := c.TopK("web", 10)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("topk with dead worker: err = %v, want ErrUnavailable", err)
+	}
+	// The surviving worker's block still answers direct lookups.
+	info, _ := c.Info("web")
+	v := info.Assignment[0].Lo
+	if _, err := c.Rank("web", v); err != nil {
+		t.Fatalf("rank on surviving shard: %v", err)
+	}
+	dead := info.Assignment[1].Lo
+	if _, err := c.Rank("web", dead); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("rank on dead shard: err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestCoordinatorQueriesUnknownGraph(t *testing.T) {
+	c, _ := startFleet(t, 2)
+	if _, err := c.TopK("nope", 5); err == nil || errors.Is(err, ErrUnavailable) {
+		t.Fatalf("unknown graph: err = %v, want non-unavailable error", err)
+	}
+	if err := c.Remove("nope"); err == nil {
+		t.Fatal("remove of unknown graph succeeded")
+	}
+}

@@ -1,0 +1,205 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// DefaultPartitionBytes mirrors the engine default: partitions are sized so
+// a destination block's rank slice fits in cache.
+const DefaultPartitionBytes = 256 << 10
+
+// SolveOptions parameterizes a distributed solve. It travels to every worker
+// as the /v1/shard/solve request body, so all shards run identical math.
+type SolveOptions struct {
+	// Damping is the PageRank damping factor d.
+	Damping float64 `json:"damping"`
+	// Tolerance stops the rounds when the global L1 delta drops below it.
+	Tolerance float64 `json:"tolerance"`
+	// Rounds, when positive with Tolerance zero, runs exactly this many
+	// rounds regardless of delta.
+	Rounds int `json:"rounds,omitempty"`
+	// MaxRounds caps tolerance-driven solves. Zero means the default cap.
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Workers bounds shard-local parallelism; zero means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// PartitionBytes sizes the conflict-free gather partitions.
+	PartitionBytes int `json:"partition_bytes,omitempty"`
+	// Redistribute selects the dangling-mass redistribution variant instead
+	// of the paper's default leak semantics.
+	Redistribute bool `json:"redistribute,omitempty"`
+	// Seq is the coordinator-assigned solve sequence number. Swap messages
+	// carry it so slices from an abandoned earlier solve can never leak into
+	// a later one.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// DefaultMaxRounds caps tolerance-driven distributed solves, matching the
+// monolithic engine's convergence cap.
+const DefaultMaxRounds = 1000
+
+// partition is a conflict-free gather unit: a contiguous slice of the
+// block's rows plus the in-edges targeting them, laid out source-major so a
+// round streams the scaled-rank vector once while all writes stay inside a
+// cache-sized accumulator (the paper's partition-centric update phase).
+type partition struct {
+	plo, phi graph.NodeID // global row range within the block
+	runSrc   []uint32     // global source ID per run
+	runOff   []int64      // len(runSrc)+1, offsets into dst
+	dst      []uint32     // partition-local destination (global - plo)
+	acc      []float32    // gather scratch, len phi-plo
+}
+
+// BlockSolver runs the owned block's side of each distributed round: given
+// the full rank vector gathered from all shards, it produces the block's
+// next rank slice and the block's L1 delta. Partition order is fixed, and
+// per-partition deltas are reduced in that order, so a block's delta is
+// bit-identical at any worker count.
+type BlockSolver struct {
+	n      int
+	lo, hi graph.NodeID
+	degs   []uint32 // global out-degrees
+	parts  []partition
+	spr    []float32 // scaled ranks p[u]/deg[u], len n, rebuilt each round
+	deltas []float64 // per-partition reduction scratch
+}
+
+// NewBlockSolver builds the partition-centric layout for the block [lo, hi)
+// from its row-block sub-graph (same n-vertex ID space, only edges with
+// destination inside the block — see graph.RowBlock). degs are the FULL
+// graph's out-degrees, needed to scale every source's rank.
+func NewBlockSolver(sub *graph.Graph, degs []uint32, lo, hi graph.NodeID, partitionBytes int) (*BlockSolver, error) {
+	n := sub.NumNodes()
+	if len(degs) != n {
+		return nil, fmt.Errorf("shard: got %d degrees for %d nodes", len(degs), n)
+	}
+	if lo > hi || int64(hi) > int64(n) {
+		return nil, fmt.Errorf("shard: block [%d, %d) out of range for n=%d", lo, hi, n)
+	}
+	if partitionBytes <= 0 {
+		partitionBytes = DefaultPartitionBytes
+	}
+	vpp := partitionBytes / 4 // 4 bytes of rank accumulator per row
+	if vpp < 1 {
+		vpp = 1
+	}
+	blockLen := int(hi - lo)
+	numParts := 0
+	if blockLen > 0 {
+		numParts = (blockLen + vpp - 1) / vpp
+	}
+	s := &BlockSolver{
+		n: n, lo: lo, hi: hi, degs: degs,
+		parts:  make([]partition, numParts),
+		spr:    make([]float32, n),
+		deltas: make([]float64, numParts),
+	}
+	partOf := func(v graph.NodeID) int { return int(v-lo) / vpp }
+	for i := range s.parts {
+		plo := lo + graph.NodeID(i*vpp)
+		phi := plo + graph.NodeID(vpp)
+		if phi > hi {
+			phi = hi
+		}
+		s.parts[i].plo, s.parts[i].phi = plo, phi
+		s.parts[i].acc = make([]float32, phi-plo)
+	}
+	// Count runs and edges per partition: a source's sorted adjacency splits
+	// into one run per partition it touches.
+	outOff, outAdj := sub.OutOffsets(), sub.OutAdjacency()
+	for v := 0; v < n; v++ {
+		adj := outAdj[outOff[v]:outOff[v+1]]
+		for len(adj) > 0 {
+			pt := &s.parts[partOf(adj[0])]
+			end := 0
+			for end < len(adj) && adj[end] < pt.phi {
+				end++
+			}
+			pt.runSrc = append(pt.runSrc, uint32(v))
+			pt.runOff = append(pt.runOff, int64(len(pt.dst)))
+			for _, u := range adj[:end] {
+				pt.dst = append(pt.dst, uint32(u-pt.plo))
+			}
+			adj = adj[end:]
+		}
+	}
+	for i := range s.parts {
+		s.parts[i].runOff = append(s.parts[i].runOff, int64(len(s.parts[i].dst)))
+	}
+	return s, nil
+}
+
+// Block returns the solver's owned row range.
+func (s *BlockSolver) Block() Range { return Range{Lo: s.lo, Hi: s.hi} }
+
+// Round computes the next rank slice for the owned block from the full
+// current vector p, writing into out (len hi-lo) and returning the block's
+// L1 delta. The arithmetic mirrors the monolithic engine exactly — float32
+// accumulation, float32 scaled ranks, float64 delta — so a sharded solve
+// converges to the same vector the single-process solver produces.
+func (s *BlockSolver) Round(p, out []float32, opts SolveOptions) (float64, error) {
+	if len(p) != s.n || len(out) != int(s.hi-s.lo) {
+		return 0, fmt.Errorf("shard: round buffers have wrong length (p=%d want %d, out=%d want %d)",
+			len(p), s.n, len(out), s.hi-s.lo)
+	}
+	workers := par.Workers(opts.Workers)
+	d := opts.Damping
+	base := float32((1 - d) / float64(s.n))
+	d32 := float32(d)
+	// Every worker derives the dangling term from the same gathered vector in
+	// the same ascending-node order, so no cross-shard mass exchange is
+	// needed and all shards agree bit-for-bit.
+	var dterm float32
+	if opts.Redistribute {
+		var dangling float64
+		for v := 0; v < s.n; v++ {
+			if s.degs[v] == 0 {
+				dangling += float64(p[v])
+			}
+		}
+		dterm = float32(dangling / float64(s.n))
+	}
+	par.ForStatic(s.n, workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			if s.degs[u] != 0 {
+				s.spr[u] = p[u] / float32(s.degs[u])
+			} else {
+				s.spr[u] = 0
+			}
+		}
+	})
+	par.ForDynamic(len(s.parts), workers, func(i int) {
+		pt := &s.parts[i]
+		for j := range pt.acc {
+			pt.acc[j] = 0
+		}
+		for r := 0; r < len(pt.runSrc); r++ {
+			val := s.spr[pt.runSrc[r]]
+			for _, dl := range pt.dst[pt.runOff[r]:pt.runOff[r+1]] {
+				pt.acc[dl] += val
+			}
+		}
+		var delta float64
+		for j, a := range pt.acc {
+			v := int(pt.plo) + j
+			nv := base + d32*(a+dterm)
+			delta += abs64(float64(nv) - float64(p[v]))
+			out[int(pt.plo-s.lo)+j] = nv
+		}
+		s.deltas[i] = delta
+	})
+	var delta float64
+	for _, dd := range s.deltas {
+		delta += dd
+	}
+	return delta, nil
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

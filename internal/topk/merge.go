@@ -1,0 +1,73 @@
+package topk
+
+// MergeDesc merges S lists that are each already sorted in descending order
+// (best first, as returned by Select) into the overall best k entries, again
+// descending. It is the coordinator-side half of distributed top-k: each
+// shard runs Select over its row block and ships a k-sized slice, and the
+// merge walks a heap of list heads in O(S + k log S) — instead of
+// concatenating S·K entries and re-scanning them through Select.
+//
+// worse must be the same strict weak ordering the lists were sorted with;
+// ties across lists are broken by it too, so a determinism tie-break folded
+// into worse (e.g. by node ID) makes the merged output deterministic.
+// k <= 0 returns an empty non-nil slice; short or empty lists are fine.
+func MergeDesc[E any](lists [][]E, k int, worse func(a, b E) bool) []E {
+	if k <= 0 {
+		return []E{}
+	}
+	// head[i] is the cursor into lists[i]; h is a max-heap of list indices
+	// keyed by the list's current head (root = best available entry).
+	head := make([]int, len(lists))
+	h := make([]int, 0, len(lists))
+	better := func(a, b int) bool { // list a's head outranks list b's head
+		return worse(lists[b][head[b]], lists[a][head[a]])
+	}
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if c+1 < len(h) && better(h[c+1], h[c]) {
+				c++
+			}
+			if !better(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	siftUp := func(c int) {
+		for c > 0 {
+			p := (c - 1) / 2
+			if !better(h[c], h[p]) {
+				return
+			}
+			h[c], h[p] = h[p], h[c]
+			c = p
+		}
+	}
+	for i, l := range lists {
+		if len(l) > 0 {
+			h = append(h, i)
+			siftUp(len(h) - 1)
+		}
+	}
+	out := make([]E, 0, k)
+	for len(h) > 0 && len(out) < k {
+		i := h[0]
+		out = append(out, lists[i][head[i]])
+		head[i]++
+		if head[i] < len(lists[i]) {
+			siftDown(0)
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+			if len(h) > 0 {
+				siftDown(0)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+type scored struct {
+	node uint32
+	rank float32
+}
+
+// worseScored matches the serving-path convention: rank descending, node ID
+// ascending on ties.
+func worseScored(a, b scored) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.node > b.node
+}
+
+func TestMergeDescMatchesSelectOnConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		nLists := 1 + rng.Intn(6)
+		k := rng.Intn(12)
+		var lists [][]scored
+		var all []scored
+		next := uint32(0)
+		for i := 0; i < nLists; i++ {
+			n := rng.Intn(3 * (k + 1))
+			items := make([]scored, n)
+			for j := range items {
+				// Coarse ranks force cross-list ties to exercise the node tie-break.
+				items[j] = scored{node: next, rank: float32(rng.Intn(5))}
+				next++
+			}
+			sorted := Select(len(items), len(items), func(i int) scored { return items[i] }, worseScored)
+			lists = append(lists, sorted)
+			all = append(all, items...)
+		}
+		want := Select(len(all), k, func(i int) scored { return all[i] }, worseScored)
+		got := MergeDesc(lists, k, worseScored)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d entries, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: entry %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeDescEdgeCases(t *testing.T) {
+	if got := MergeDesc[scored](nil, 5, worseScored); len(got) != 0 || got == nil {
+		t.Fatalf("nil lists: got %v", got)
+	}
+	if got := MergeDesc([][]scored{{}, {}}, 3, worseScored); len(got) != 0 || got == nil {
+		t.Fatalf("empty lists: got %v", got)
+	}
+	one := [][]scored{{{node: 1, rank: 2}, {node: 2, rank: 1}}}
+	if got := MergeDesc(one, 0, worseScored); len(got) != 0 || got == nil {
+		t.Fatalf("k=0: got %v", got)
+	}
+	got := MergeDesc(one, 10, worseScored)
+	if len(got) != 2 || got[0].node != 1 || got[1].node != 2 {
+		t.Fatalf("k>len: got %v", got)
+	}
+}
